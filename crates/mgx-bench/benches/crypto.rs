@@ -1,0 +1,75 @@
+//! Microbenchmarks for the cryptographic substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mgx_crypto::aes::Aes128;
+use mgx_crypto::ctr::xor_keystream;
+use mgx_crypto::gcm;
+use mgx_crypto::mac::{CmacAes128, GmacTagger, Mac};
+use mgx_crypto::merkle::MerkleTree;
+use std::hint::black_box;
+
+fn bench_aes(c: &mut Criterion) {
+    let key = Aes128::new(b"benchmark-key-00");
+    let mut g = c.benchmark_group("aes");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| {
+        let pt = [7u8; 16];
+        b.iter(|| black_box(key.encrypt_block(black_box(&pt))));
+    });
+    g.throughput(Throughput::Bytes(512));
+    g.bench_function("ctr_512B_block", |b| {
+        let mut data = [0xa5u8; 512];
+        b.iter(|| {
+            xor_keystream(&key, 0x1000, 42, black_box(&mut data));
+        });
+    });
+    g.finish();
+}
+
+fn bench_macs(c: &mut Criterion) {
+    let gmac = GmacTagger::new(b"integrity-key-00");
+    let cmac = CmacAes128::new(b"integrity-key-00");
+    let block512 = vec![0x5au8; 512];
+    let block64 = vec![0x5au8; 64];
+    let mut g = c.benchmark_group("mac");
+    g.throughput(Throughput::Bytes(512));
+    g.bench_function("gmac_512B", |b| b.iter(|| black_box(gmac.tag(&block512, 0x2000, 7))));
+    g.bench_function("cmac_512B", |b| b.iter(|| black_box(cmac.tag(&block512, 0x2000, 7))));
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("gmac_64B", |b| b.iter(|| black_box(gmac.tag(&block64, 0x2000, 7))));
+    g.finish();
+}
+
+fn bench_gcm(c: &mut Criterion) {
+    let key = Aes128::new(b"benchmark-key-00");
+    let pt = vec![3u8; 4096];
+    let mut g = c.benchmark_group("gcm");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("seal_4KiB", |b| b.iter(|| black_box(gcm::seal(&key, &[9; 12], b"", &pt))));
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle");
+    // A 4096-leaf 8-ary tree (4 levels) — the baseline's per-write work.
+    let mut tree = MerkleTree::new(b"merkle-bench-key", 4096, 8);
+    for i in 0..4096usize {
+        tree.update(i, &(i as u64).to_le_bytes());
+    }
+    g.bench_function("update_8ary_4096", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            tree.update(i, &(i as u64 + 1).to_le_bytes());
+        });
+    });
+    g.bench_function("verify_8ary_4096", |b| {
+        b.iter(|| {
+            tree.verify(1234, &1235u64.to_le_bytes()).ok();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aes, bench_macs, bench_gcm, bench_merkle);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks for the DDR4 timing simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mgx_dram::{DramConfig, DramSim};
+use mgx_trace::Dir;
+use std::hint::black_box;
+
+const N: u64 = 16_384; // 1 MiB of 64 B transactions
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("stream_1ch", |b| {
+        b.iter(|| {
+            let mut sim = DramSim::new(DramConfig::ddr4_2400(1));
+            let mut done = 0;
+            for i in 0..N {
+                done = sim.access(0, i * 64, Dir::Read);
+            }
+            black_box(done)
+        });
+    });
+    g.bench_function("stream_4ch", |b| {
+        b.iter(|| {
+            let mut sim = DramSim::new(DramConfig::ddr4_2400(4));
+            let mut done = 0;
+            for i in 0..N {
+                done = sim.access(0, i * 64, Dir::Read);
+            }
+            black_box(done)
+        });
+    });
+    g.bench_function("random_4ch", |b| {
+        b.iter(|| {
+            let mut sim = DramSim::new(DramConfig::ddr4_2400(4));
+            let mut done = 0;
+            let mut x = 0x2545f4914f6cdd1du64;
+            for _ in 0..N {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                done = sim.access(0, (x % (8 << 30)) & !63, Dir::Read);
+            }
+            black_box(done)
+        });
+    });
+    g.bench_function("mixed_rw_4ch", |b| {
+        b.iter(|| {
+            let mut sim = DramSim::new(DramConfig::ddr4_2400(4));
+            let mut done = 0;
+            for i in 0..N {
+                let dir = if i % 4 == 0 { Dir::Write } else { Dir::Read };
+                done = sim.access(0, i * 64, dir);
+            }
+            black_box(done)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

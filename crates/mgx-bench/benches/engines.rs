@@ -1,0 +1,55 @@
+//! Microbenchmarks for the protection-engine traffic expansion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mgx_core::{scheme_engine, ProtectionConfig, Scheme};
+use mgx_trace::{DataClass, MemRequest, RegionMap};
+use std::hint::black_box;
+
+const TILES: u64 = 512; // 512 × 4 KiB = 2 MiB per iteration
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut regions = RegionMap::new();
+    let r = regions.alloc("stream", TILES * 4096, DataClass::Feature);
+    let base = regions.get(r).base;
+    let cfg = ProtectionConfig::default();
+
+    let mut g = c.benchmark_group("engine_expand");
+    g.throughput(Throughput::Bytes(TILES * 4096));
+    for scheme in Scheme::ALL {
+        g.bench_with_input(BenchmarkId::new("stream", scheme.label()), &scheme, |b, &s| {
+            b.iter(|| {
+                let mut engine = scheme_engine(s, &regions, &cfg);
+                let mut count = 0u64;
+                for i in 0..TILES {
+                    engine.expand(&MemRequest::read(r, base + i * 4096, 4096), &mut |_| {
+                        count += 1;
+                    });
+                }
+                black_box(count)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use mgx_cache::{AccessKind, CacheConfig, CacheSim};
+    let mut g = c.benchmark_group("metadata_cache");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("access_streaming", |b| {
+        b.iter(|| {
+            let mut cache = CacheSim::new(CacheConfig::metadata_32k());
+            let mut hits = 0u64;
+            for i in 0..10_000u64 {
+                if cache.access((i % 2048) * 64, AccessKind::Read).hit {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_expansion, bench_cache);
+criterion_main!(benches);

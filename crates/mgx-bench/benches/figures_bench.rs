@@ -1,0 +1,122 @@
+//! Per-figure end-to-end benches: each paper figure family has a bench
+//! target running one representative workload at reduced scale through the
+//! full pipeline (trace → protection → DRAM → time). `cargo bench` thus
+//! exercises every experiment; the `figures` binary prints the full tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgx_core::Scheme;
+use mgx_dnn::trace::{build_inference_trace, build_training_trace};
+use mgx_dnn::Model;
+use mgx_genome::accel::{build_gact_trace, GactAccelConfig, GenomeWorkload};
+use mgx_genome::ErrorProfile;
+use mgx_graph::accel::{build_graph_trace, GraphAccelConfig, GraphWorkload};
+use mgx_graph::rmat::RmatGenerator;
+use mgx_h264::decoder::{build_decode_trace, DecoderConfig};
+use mgx_h264::GopStructure;
+use mgx_scalesim::{ArrayConfig, Dataflow};
+use mgx_sim::experiments::{dnn, genome, video};
+use mgx_sim::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn fig3_fig12_fig13_dnn(c: &mut Criterion) {
+    // One DNN workload (AlexNet/Cloud) across the schemes of Figs 3/12/13.
+    let model = Model::alexnet(1);
+    let acfg = ArrayConfig::cloud();
+    let trace = build_inference_trace(&model, &acfg, Dataflow::WeightStationary);
+    let scfg = SimConfig::overlapped(4, 700);
+    let mut g = c.benchmark_group("fig12_13_dnn_inference");
+    g.sample_size(10);
+    for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
+        g.bench_with_input(
+            BenchmarkId::new("alexnet_cloud", scheme.label()),
+            &scheme,
+            |b, &s| b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles)),
+        );
+    }
+    g.finish();
+
+    let trace = build_training_trace(&model, &acfg, Dataflow::WeightStationary);
+    let mut g = c.benchmark_group("fig12b_13b_dnn_training");
+    g.sample_size(10);
+    for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
+        g.bench_with_input(
+            BenchmarkId::new("alexnet_cloud", scheme.label()),
+            &scheme,
+            |b, &s| b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles)),
+        );
+    }
+    g.finish();
+}
+
+fn fig14_graph(c: &mut Criterion) {
+    let graph = RmatGenerator::social(14, 11).generate(200_000);
+    let trace = build_graph_trace(
+        &graph,
+        GraphWorkload::PageRank { iters: 2 },
+        &GraphAccelConfig::default(),
+    );
+    let scfg = SimConfig::overlapped(4, 800);
+    let mut g = c.benchmark_group("fig14_graph");
+    g.sample_size(10);
+    for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
+        g.bench_with_input(BenchmarkId::new("pagerank_rmat14", scheme.label()), &scheme, |b, &s| {
+            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
+        });
+    }
+    g.finish();
+}
+
+fn fig16_genome(c: &mut Criterion) {
+    let w = GenomeWorkload {
+        chromosome: "chrY",
+        full_len: 57_227_415,
+        profile: ErrorProfile::pacbio(),
+    };
+    let accel = GactAccelConfig::default();
+    let trace = build_gact_trace(&w, &accel, 8, 1280, 2000, 5);
+    let scfg = genome::setup(&accel);
+    let mut g = c.benchmark_group("fig16_genome");
+    g.sample_size(10);
+    for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::MgxVn] {
+        g.bench_with_input(BenchmarkId::new("chrY_pacbio", scheme.label()), &scheme, |b, &s| {
+            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
+        });
+    }
+    g.finish();
+}
+
+fn fig18_19_video(c: &mut Criterion) {
+    let trace = build_decode_trace(&GopStructure::ibpb(16), &DecoderConfig::default());
+    let scfg = video::setup();
+    let mut g = c.benchmark_group("fig19_video");
+    g.sample_size(10);
+    for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
+        g.bench_with_input(BenchmarkId::new("ibpb16", scheme.label()), &scheme, |b, &s| {
+            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
+        });
+    }
+    g.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    // Trace construction itself (the SCALE-Sim substitute's cost).
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10);
+    g.bench_function("resnet50_inference", |b| {
+        let model = Model::resnet50(1);
+        let acfg = ArrayConfig::cloud();
+        b.iter(|| black_box(build_inference_trace(&model, &acfg, Dataflow::WeightStationary)));
+    });
+    let _ = dnn::setups(); // keep experiment API linked
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig3_fig12_fig13_dnn,
+    fig14_graph,
+    fig16_genome,
+    fig18_19_video,
+    trace_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p mgx-bench --release --bin figures -- all
+//! cargo run -p mgx-bench --release --bin figures -- fig13a fig14b --quick
+//! ```
+//!
+//! Figure ids: `fig3 fig12a fig12b fig13a fig13b fig14a fig14b fig16 h264
+//! pruning ablations summary`. `--quick` uses the reduced CI scale (see
+//! `mgx_sim::Scale`); the default is the standard scale recorded in
+//! EXPERIMENTS.md.
+
+use mgx_sim::experiments::{self, dnn, genome, graph, sensitivity, video, Evaluated};
+use mgx_sim::{render, render_json, Figure, Scale};
+
+fn wants(args: &[String], id: &str) -> bool {
+    args.iter().any(|a| a == id || a == "all")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let scale = if quick { Scale::quick() } else { Scale::standard() };
+    let print = |fig: &Figure| {
+        if json {
+            println!("{}", render_json(fig));
+        } else {
+            println!("{}", render(fig));
+        }
+    };
+    let args: Vec<String> =
+        args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let args = if args.is_empty() { vec!["all".to_string()] } else { args };
+
+    eprintln!("# scale: {scale:?}");
+
+    let need_dnn_inf = ["fig3", "fig12a", "fig13a", "summary"].iter().any(|f| wants(&args, f));
+    let need_dnn_train = ["fig3", "fig12b", "fig13b", "summary"].iter().any(|f| wants(&args, f));
+    let need_graph = ["fig3", "fig14a", "fig14b", "summary"].iter().any(|f| wants(&args, f));
+
+    let dnn_inf: Vec<Evaluated> = if need_dnn_inf {
+        eprintln!("# simulating DNN inference suite…");
+        dnn::evaluate_inference(&scale)
+    } else {
+        Vec::new()
+    };
+    let dnn_train: Vec<Evaluated> = if need_dnn_train {
+        eprintln!("# simulating DNN training suite…");
+        dnn::evaluate_training(&scale)
+    } else {
+        Vec::new()
+    };
+    let graphs: Vec<Evaluated> = if need_graph {
+        eprintln!("# simulating graph suite…");
+        graph::evaluate(&scale)
+    } else {
+        Vec::new()
+    };
+
+    if wants(&args, "fig3") {
+        print(&experiments::fig3(&dnn_inf, &dnn_train, &graphs));
+    }
+    if wants(&args, "fig12a") {
+        print(&dnn::fig12(&dnn_inf, false));
+    }
+    if wants(&args, "fig12b") {
+        print(&dnn::fig12(&dnn_train, true));
+    }
+    if wants(&args, "fig13a") {
+        print(&dnn::fig13(&dnn_inf, false));
+    }
+    if wants(&args, "fig13b") {
+        print(&dnn::fig13(&dnn_train, true));
+    }
+    if wants(&args, "fig14a") {
+        print(&graph::fig14a(&graphs));
+    }
+    if wants(&args, "fig14b") {
+        print(&graph::fig14b(&graphs));
+    }
+    if wants(&args, "fig16") {
+        eprintln!("# simulating GACT suite…");
+        let g = genome::evaluate(&scale);
+        print(&genome::fig16(&g));
+    }
+    if wants(&args, "h264") {
+        let v = video::evaluate(&scale);
+        print(&video::fig_h264(&v));
+    }
+    if wants(&args, "pruning") {
+        println!("{}", pruning_table());
+    }
+    if wants(&args, "ablations") {
+        eprintln!("# running ablation sweeps…");
+        for fig in sensitivity::all(&scale) {
+            print(&fig);
+        }
+    }
+    if wants(&args, "summary") {
+        let claims = experiments::summary_claims(&dnn_inf, &dnn_train, &graphs);
+        println!("{}", experiments::render_claims(&claims));
+    }
+}
+
+/// §VII-B: compression-format sizes and the dynamic-pruning traffic factor
+/// (Fig 20's setting) on a synthetic sparse feature tile.
+fn pruning_table() -> String {
+    use mgx_dnn::pruning::{ChannelMask, CscTile, CsrTile, DenseTile, RlcTile};
+    let mut out = String::from("## pruning — §VII-B compressed formats (64×64 tile)\n");
+    out.push_str(&format!("{:<12} {:>10} {:>10} {:>8}\n", "density", "format", "bytes", "ratio"));
+    for density_pct in [5u32, 15, 30, 60] {
+        let mut data = vec![0.0f32; 64 * 64];
+        for (i, v) in data.iter_mut().enumerate() {
+            if (i as u32 * 2654435761) % 100 < density_pct {
+                *v = i as f32 + 1.0;
+            }
+        }
+        let t = DenseTile::new(64, 64, data);
+        let dense = 64 * 64 * 4;
+        for (name, bytes) in [
+            ("CSR", CsrTile::encode(&t).bytes()),
+            ("CSC", CscTile::encode(&t).bytes()),
+            ("RLC", RlcTile::encode(&t).bytes()),
+        ] {
+            out.push_str(&format!(
+                "{:<12} {:>10} {:>10} {:>8.2}\n",
+                format!("{density_pct}%"),
+                name,
+                bytes,
+                bytes as f64 / dense as f64
+            ));
+        }
+    }
+    let saliency: Vec<f32> = (0..64).map(|i| (i % 10) as f32 / 10.0).collect();
+    let mask = ChannelMask::from_saliency(&saliency, 0.5);
+    out.push_str(&format!(
+        "channel gating: {}/{} channels kept, traffic ×{:.2}\n",
+        mask.active(),
+        mask.len(),
+        mask.traffic_factor()
+    ));
+    out
+}

@@ -1,0 +1,8 @@
+//! Benchmark harness crate: see the `figures` binary (regenerates every
+//! paper table/figure) and the Criterion benches under `benches/`.
+//!
+//! Run `cargo run -p mgx-bench --release --bin figures -- all` for the full
+//! evaluation, or pass figure ids (`fig3 fig12a fig13b fig14a fig16 h264
+//! pruning summary`). `--quick` switches to the reduced CI scale.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,154 @@
+//! Counter-block construction for AES-CTR memory encryption (paper Fig 6).
+//!
+//! Each 128-bit counter is `addr (64) ‖ stream tag (2) ‖ VN (62)`. The tag
+//! partitions the version-number space between data streams (features,
+//! weights, gradients) so their independently managed counters can never
+//! collide; the address makes the counter unique per block even when one VN
+//! covers a whole tensor.
+
+/// Which version-number stream a region belongs to (Fig 6's 2-bit tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StreamTag {
+    /// DNN features / graph vertex attributes / decoded frames (tag `00`).
+    Features = 0b00,
+    /// Weights / read-only structures (tag `01`).
+    Weights = 0b01,
+    /// Training gradients (tag `10`).
+    Gradients = 0b10,
+    /// Everything else (tag `11`).
+    Other = 0b11,
+}
+
+impl StreamTag {
+    /// All tags, for exhaustive tests.
+    pub const ALL: [StreamTag; 4] =
+        [StreamTag::Features, StreamTag::Weights, StreamTag::Gradients, StreamTag::Other];
+}
+
+/// Number of usable VN bits once the stream tag is carved out.
+pub const VN_BITS: u32 = 62;
+
+/// Largest version number representable next to the tag.
+pub const VN_MAX: u64 = (1 << VN_BITS) - 1;
+
+/// A composed 128-bit AES-CTR counter block.
+///
+/// # Example
+///
+/// ```
+/// use mgx_core::counter::{CounterBlock, StreamTag};
+///
+/// let c = CounterBlock::compose(0x1000, StreamTag::Features, 7);
+/// assert_eq!(c.addr(), 0x1000);
+/// assert_eq!(c.tag(), StreamTag::Features);
+/// assert_eq!(c.vn(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterBlock(u128);
+
+impl CounterBlock {
+    /// Builds `addr ‖ tag ‖ vn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vn` exceeds [`VN_MAX`] — the paper requires re-keying
+    /// before a VN overflows (§IV-C), so silently wrapping would be a
+    /// security bug.
+    pub fn compose(addr: u64, tag: StreamTag, vn: u64) -> Self {
+        assert!(vn <= VN_MAX, "version number overflow: re-key required");
+        let tagged = ((tag as u64 as u128) << VN_BITS) | vn as u128;
+        Self(((addr as u128) << 64) | tagged)
+    }
+
+    /// The raw 128-bit counter value fed to AES.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// The 64-bit tagged VN half (what the paper calls the "64-bit VN").
+    pub fn tagged_vn(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Extracts the block address.
+    pub fn addr(self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+
+    /// Extracts the stream tag.
+    pub fn tag(self) -> StreamTag {
+        match (self.0 >> VN_BITS) as u8 & 0b11 {
+            0b00 => StreamTag::Features,
+            0b01 => StreamTag::Weights,
+            0b10 => StreamTag::Gradients,
+            _ => StreamTag::Other,
+        }
+    }
+
+    /// Extracts the version number.
+    pub fn vn(self) -> u64 {
+        self.0 as u64 & VN_MAX
+    }
+}
+
+/// Composes the 64-bit *tagged* VN (tag in the top two bits).
+///
+/// This is the value the secure-memory layer passes around: the full counter
+/// is recovered by pairing it with each block's address.
+pub fn tagged_vn(tag: StreamTag, vn: u64) -> u64 {
+    assert!(vn <= VN_MAX, "version number overflow: re-key required");
+    ((tag as u64) << VN_BITS) | vn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_tags() {
+        for tag in StreamTag::ALL {
+            let c = CounterBlock::compose(0xdead_beef_0000, tag, 12345);
+            assert_eq!(c.addr(), 0xdead_beef_0000);
+            assert_eq!(c.tag(), tag);
+            assert_eq!(c.vn(), 12345);
+        }
+    }
+
+    #[test]
+    fn tags_partition_the_counter_space() {
+        // Same address and VN but different tags → different counters.
+        let f = CounterBlock::compose(0x40, StreamTag::Features, 5);
+        let w = CounterBlock::compose(0x40, StreamTag::Weights, 5);
+        let g = CounterBlock::compose(0x40, StreamTag::Gradients, 5);
+        assert_ne!(f.as_u128(), w.as_u128());
+        assert_ne!(f.as_u128(), g.as_u128());
+        assert_ne!(w.as_u128(), g.as_u128());
+    }
+
+    #[test]
+    fn same_vn_different_address_is_unique() {
+        let a = CounterBlock::compose(0x00, StreamTag::Features, 9);
+        let b = CounterBlock::compose(0x10, StreamTag::Features, 9);
+        assert_ne!(a.as_u128(), b.as_u128());
+    }
+
+    #[test]
+    fn vn_max_is_accepted() {
+        let c = CounterBlock::compose(0, StreamTag::Other, VN_MAX);
+        assert_eq!(c.vn(), VN_MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn vn_overflow_panics() {
+        let _ = CounterBlock::compose(0, StreamTag::Features, VN_MAX + 1);
+    }
+
+    #[test]
+    fn tagged_vn_matches_compose() {
+        let t = tagged_vn(StreamTag::Gradients, 77);
+        let c = CounterBlock::compose(0x123450, StreamTag::Gradients, 77);
+        assert_eq!(c.tagged_vn(), t);
+    }
+}

@@ -1,0 +1,330 @@
+//! Protection engines: per-scheme expansion of application requests into
+//! DRAM line transactions.
+//!
+//! Every scheme ultimately turns one coarse [`MemRequest`] into a stream of
+//! 64-byte [`LineTxn`]s: the data lines themselves plus whatever metadata
+//! (version numbers, integrity-tree nodes, MACs) the scheme touches, after
+//! its metadata cache where it has one. The per-kind byte counters in
+//! [`MetaTraffic`] regenerate the paper's traffic figures directly; feeding
+//! the emitted transactions to `mgx-dram` regenerates the performance
+//! figures.
+
+mod baseline;
+mod macside;
+mod mgx;
+mod noprot;
+mod split;
+
+pub use baseline::BaselineEngine;
+pub use mgx::MgxEngine;
+pub use noprot::NoProtection;
+pub use split::SplitCounterEngine;
+
+use crate::policy::ProtectionConfig;
+use mgx_trace::{Dir, MemRequest, RegionMap, Traffic, LINE_BYTES};
+
+/// What a DRAM line transaction carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Application data.
+    Data,
+    /// Version-number line (baseline / MGX_MAC only).
+    Vn,
+    /// Integrity-tree node (baseline / MGX_MAC only).
+    Tree,
+    /// MAC line.
+    Mac,
+}
+
+/// One 64-byte DRAM transaction produced by a protection engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineTxn {
+    /// Line-aligned address.
+    pub addr: u64,
+    /// Direction.
+    pub dir: Dir,
+    /// Payload classification (for traffic breakdowns).
+    pub kind: TxnKind,
+}
+
+/// Byte counters per transaction kind (the paper's Fig 3 breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetaTraffic {
+    /// Application-data traffic.
+    pub data: Traffic,
+    /// Version-number table traffic.
+    pub vn: Traffic,
+    /// Integrity-tree traffic.
+    pub tree: Traffic,
+    /// MAC traffic.
+    pub mac: Traffic,
+}
+
+impl MetaTraffic {
+    /// Records one line transaction.
+    pub fn record(&mut self, txn: &LineTxn) {
+        let t = match txn.kind {
+            TxnKind::Data => &mut self.data,
+            TxnKind::Vn => &mut self.vn,
+            TxnKind::Tree => &mut self.tree,
+            TxnKind::Mac => &mut self.mac,
+        };
+        t.add(txn.dir, LINE_BYTES);
+    }
+
+    /// Total bytes moved, all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.data.total() + self.vn.total() + self.tree.total() + self.mac.total()
+    }
+
+    /// Metadata bytes only.
+    pub fn meta_bytes(&self) -> u64 {
+        self.total_bytes() - self.data.total()
+    }
+
+    /// Metadata overhead as a fraction of data traffic (paper's "memory
+    /// traffic overhead").
+    pub fn overhead(&self) -> f64 {
+        if self.data.total() == 0 {
+            0.0
+        } else {
+            self.meta_bytes() as f64 / self.data.total() as f64
+        }
+    }
+
+    /// VN-side overhead fraction (VN + tree; the paper folds tree traffic
+    /// into the "VN" bar of Fig 3).
+    pub fn vn_overhead(&self) -> f64 {
+        if self.data.total() == 0 {
+            0.0
+        } else {
+            (self.vn.total() + self.tree.total()) as f64 / self.data.total() as f64
+        }
+    }
+
+    /// MAC-side overhead fraction.
+    pub fn mac_overhead(&self) -> f64 {
+        if self.data.total() == 0 {
+            0.0
+        } else {
+            self.mac.total() as f64 / self.data.total() as f64
+        }
+    }
+}
+
+/// A memory-protection scheme's traffic model.
+///
+/// Engines are stateful (metadata caches, MAC coalescing) and must see the
+/// request stream in execution order.
+pub trait ProtectionEngine {
+    /// Short scheme name (`"NP"`, `"BP"`, `"MGX"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Expands `req` into line transactions, in issue order.
+    fn expand(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineTxn));
+
+    /// Flushes residual dirty metadata (end of run) as write transactions.
+    fn flush(&mut self, emit: &mut dyn FnMut(LineTxn));
+
+    /// Cumulative traffic including everything emitted so far.
+    fn traffic(&self) -> MetaTraffic;
+}
+
+/// The five protection schemes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No protection (the normalization baseline).
+    NoProtection,
+    /// Conventional secure-processor protection: off-chip VNs under an
+    /// 8-ary tree + per-64 B MACs, 32 KB metadata cache (Intel-MEE-like).
+    Baseline,
+    /// Full MGX: on-chip VNs, application-granularity MACs.
+    Mgx,
+    /// Ablation: on-chip VNs only (MACs stay per-64 B).
+    MgxVn,
+    /// Ablation: coarse MACs only (VNs stay off-chip + tree).
+    MgxMac,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's presentation order.
+    pub const ALL: [Scheme; 5] =
+        [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx, Scheme::MgxVn, Scheme::MgxMac];
+
+    /// Display name used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::NoProtection => "NP",
+            Scheme::Baseline => "BP",
+            Scheme::Mgx => "MGX",
+            Scheme::MgxVn => "MGX_VN",
+            Scheme::MgxMac => "MGX_MAC",
+        }
+    }
+}
+
+impl core::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds the engine for `scheme` over a trace's regions.
+pub fn scheme_engine(
+    scheme: Scheme,
+    regions: &RegionMap,
+    config: &ProtectionConfig,
+) -> Box<dyn ProtectionEngine> {
+    match scheme {
+        Scheme::NoProtection => Box::new(NoProtection::new()),
+        Scheme::Baseline => Box::new(BaselineEngine::fine_mac(config)),
+        Scheme::Mgx => Box::new(MgxEngine::coarse(regions, config)),
+        Scheme::MgxVn => Box::new(MgxEngine::fine(regions)),
+        Scheme::MgxMac => Box::new(BaselineEngine::coarse_mac(regions, config)),
+    }
+}
+
+/// Emits the data lines of a request and counts them.
+pub(crate) fn emit_data(
+    req: &MemRequest,
+    traffic: &mut MetaTraffic,
+    emit: &mut dyn FnMut(LineTxn),
+) {
+    let first = req.addr / LINE_BYTES;
+    let last = (req.end() - 1) / LINE_BYTES;
+    for line in first..=last {
+        let txn = LineTxn { addr: line * LINE_BYTES, dir: req.dir, kind: TxnKind::Data };
+        traffic.record(&txn);
+        emit(txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgx_trace::RegionId;
+
+    #[test]
+    fn emit_data_splits_into_lines() {
+        let mut traffic = MetaTraffic::default();
+        let mut lines = Vec::new();
+        let req = MemRequest::read(RegionId(0), 100, 200); // spans lines 1..=4
+        emit_data(&req, &mut traffic, &mut |t| lines.push(t));
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].addr, 64);
+        assert_eq!(lines[3].addr, 256);
+        assert_eq!(traffic.data.read_bytes, 4 * 64);
+    }
+
+    #[test]
+    fn traffic_overhead_math() {
+        let mut t = MetaTraffic::default();
+        t.record(&LineTxn { addr: 0, dir: Dir::Read, kind: TxnKind::Data });
+        t.record(&LineTxn { addr: 0, dir: Dir::Read, kind: TxnKind::Vn });
+        assert!((t.overhead() - 1.0).abs() < 1e-12);
+        assert!((t.vn_overhead() - 1.0).abs() < 1e-12);
+        assert_eq!(t.mac_overhead(), 0.0);
+        assert_eq!(t.meta_bytes(), 64);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::Baseline.label(), "BP");
+        assert_eq!(Scheme::Mgx.to_string(), "MGX");
+        assert_eq!(Scheme::ALL.len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::policy::ProtectionConfig;
+    use mgx_trace::{DataClass, MemRequest, RegionMap};
+    use proptest::prelude::*;
+
+    fn arb_requests() -> impl Strategy<Value = Vec<(u64, u16, bool)>> {
+        proptest::collection::vec(
+            (0u64..(1 << 22), 64u16..8192, any::<bool>()),
+            1..60,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every engine preserves the data traffic exactly (metadata only
+        /// ever adds lines) and emits only line-aligned transactions.
+        #[test]
+        fn engines_conserve_data_traffic(reqs in arb_requests()) {
+            let mut regions = RegionMap::new();
+            let r = regions.alloc("buf", 1 << 24, DataClass::Feature);
+            let base = regions.get(r).base;
+            let cfg = ProtectionConfig::default();
+            let expected_lines: u64 = reqs
+                .iter()
+                .map(|&(addr, len, _)| {
+                    let a = base + addr;
+                    (a + len as u64 - 1) / 64 - a / 64 + 1
+                })
+                .sum();
+            for scheme in Scheme::ALL {
+                let mut engine = scheme_engine(scheme, &regions, &cfg);
+                let mut data_lines = 0u64;
+                let mut aligned = true;
+                for &(addr, len, write) in &reqs {
+                    let req = if write {
+                        MemRequest::write(r, base + addr, len as u64)
+                    } else {
+                        MemRequest::read(r, base + addr, len as u64)
+                    };
+                    engine.expand(&req, &mut |t| {
+                        aligned &= t.addr % 64 == 0;
+                        if t.kind == TxnKind::Data {
+                            data_lines += 1;
+                        }
+                    });
+                }
+                let mut flushed = Vec::new();
+                engine.flush(&mut |t| flushed.push(t));
+                for t in &flushed {
+                    aligned &= t.addr % 64 == 0;
+                    prop_assert!(t.kind != TxnKind::Data, "flush emits metadata only");
+                }
+                prop_assert!(aligned, "{}: unaligned txn", scheme.label());
+                prop_assert_eq!(
+                    data_lines, expected_lines,
+                    "{}: data lines must match the request stream", scheme.label()
+                );
+                prop_assert_eq!(engine.traffic().data.total(), expected_lines * 64);
+            }
+        }
+
+        /// MGX engines never touch VNs or the tree; baseline always does.
+        #[test]
+        fn vn_traffic_is_scheme_determined(reqs in arb_requests()) {
+            let mut regions = RegionMap::new();
+            let r = regions.alloc("buf", 1 << 24, DataClass::Feature);
+            let base = regions.get(r).base;
+            let cfg = ProtectionConfig::default();
+            for scheme in [Scheme::Mgx, Scheme::MgxVn, Scheme::Baseline] {
+                let mut engine = scheme_engine(scheme, &regions, &cfg);
+                for &(addr, len, write) in &reqs {
+                    let req = if write {
+                        MemRequest::write(r, base + addr, len as u64)
+                    } else {
+                        MemRequest::read(r, base + addr, len as u64)
+                    };
+                    engine.expand(&req, &mut |_| {});
+                }
+                let t = engine.traffic();
+                match scheme {
+                    Scheme::Mgx | Scheme::MgxVn => {
+                        prop_assert_eq!(t.vn.total() + t.tree.total(), 0);
+                        prop_assert!(t.mac.total() > 0);
+                    }
+                    _ => prop_assert!(t.vn.total() > 0, "BP must fetch VNs"),
+                }
+            }
+        }
+    }
+}

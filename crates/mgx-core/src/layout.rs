@@ -1,0 +1,320 @@
+//! Metadata address arithmetic.
+//!
+//! Protection metadata (version numbers, MACs, integrity-tree nodes) lives
+//! in DRAM alongside the data it protects. This module defines where — a
+//! deterministic map from data addresses to metadata addresses — so both the
+//! functional secure memories and the traffic-expansion engines agree on
+//! exactly which extra DRAM lines each scheme touches.
+//!
+//! Layout (fixed carve-outs well above the 16 GB protected data region):
+//!
+//! | range base       | contents                                            |
+//! |------------------|-----------------------------------------------------|
+//! | `VN_BASE`        | baseline per-64 B-line VNs, 8 B each, 8 per line    |
+//! | `TREE_BASE`      | 8-ary integrity tree nodes, one 64 B line per node  |
+//! | `MAC_FINE_BASE`  | per-64 B-line MACs, 8 B each                        |
+//! | `MAC_COARSE_BASE`| per-region coarse MAC arrays (8 B per block)        |
+
+use mgx_trace::{RegionId, LINE_BYTES};
+
+/// Bytes of metadata (VN or MAC entry) per protected unit.
+pub const ENTRY_BYTES: u64 = 8;
+
+/// Entries that fit in one 64-byte metadata line.
+pub const ENTRIES_PER_LINE: u64 = LINE_BYTES / ENTRY_BYTES;
+
+/// Base address of the baseline VN table.
+pub const VN_BASE: u64 = 1 << 40;
+
+/// Base address of the integrity-tree node pool.
+pub const TREE_BASE: u64 = 1 << 41;
+
+/// Base address of the fine-grained (per-line) MAC table.
+pub const MAC_FINE_BASE: u64 = 1 << 42;
+
+/// Base address of the coarse per-region MAC arrays.
+pub const MAC_COARSE_BASE: u64 = 1 << 43;
+
+/// Stride separating per-region coarse MAC arrays (4 GiB of entries each —
+/// far more than any region needs).
+pub const MAC_COARSE_REGION_STRIDE: u64 = 1 << 32;
+
+/// Baseline-scheme address math over a fixed protected capacity.
+///
+/// The tree is 8-ary over VN *lines* (one leaf per 64 B VN line, each
+/// covering 512 B of data), as in Intel's MEE (paper §VI-A).
+///
+/// # Example
+///
+/// ```
+/// use mgx_core::layout::BaselineLayout;
+///
+/// let l = BaselineLayout::new(16 << 30, 8);
+/// // 8 VNs per VN line → two data lines 64 B apart share a VN line.
+/// assert_eq!(l.vn_line_of(0), l.vn_line_of(7 * 64));
+/// assert_ne!(l.vn_line_of(0), l.vn_line_of(8 * 64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaselineLayout {
+    arity: u64,
+    /// Width (in nodes) of each tree level; `[0]` is the level just above
+    /// the VN lines, the last entry is the single node under the root.
+    level_widths: Vec<u64>,
+    /// Cumulative node-offset of each level inside the tree pool.
+    level_offsets: Vec<u64>,
+}
+
+impl BaselineLayout {
+    /// Builds the layout for `protected_bytes` of data with an `arity`-ary
+    /// tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protected_bytes` is zero or `arity < 2`.
+    pub fn new(protected_bytes: u64, arity: u64) -> Self {
+        assert!(protected_bytes > 0, "protected capacity must be non-zero");
+        assert!(arity >= 2, "tree arity must be at least 2");
+        let vn_lines = protected_bytes
+            .div_ceil(LINE_BYTES) // data lines
+            .div_ceil(ENTRIES_PER_LINE); // VN lines
+        let mut level_widths = Vec::new();
+        let mut width = vn_lines.div_ceil(arity);
+        loop {
+            level_widths.push(width);
+            if width <= 1 {
+                break;
+            }
+            width = width.div_ceil(arity);
+        }
+        let mut level_offsets = Vec::with_capacity(level_widths.len());
+        let mut off = 0;
+        for (level, w) in level_widths.iter().enumerate() {
+            // Stagger each level's base by a distinct odd line count so the
+            // low-index nodes of different levels do not alias to the same
+            // cache set (they are hot simultaneously during tree walks).
+            level_offsets.push(off + 13 * level as u64);
+            off += w + 13 * level as u64;
+        }
+        Self { arity, level_widths, level_offsets }
+    }
+
+    /// Number of tree levels above the VN lines (root register excluded).
+    pub fn tree_depth(&self) -> usize {
+        self.level_widths.len()
+    }
+
+    /// Index of the VN line covering `data_addr`.
+    pub fn vn_line_index(&self, data_addr: u64) -> u64 {
+        (data_addr / LINE_BYTES) / ENTRIES_PER_LINE
+    }
+
+    /// Address of the VN line covering `data_addr`.
+    pub fn vn_line_of(&self, data_addr: u64) -> u64 {
+        VN_BASE + self.vn_line_index(data_addr) * LINE_BYTES
+    }
+
+    /// Address of the VN *entry* for a data line (8 B granularity).
+    pub fn vn_entry_of(&self, data_addr: u64) -> u64 {
+        VN_BASE + (data_addr / LINE_BYTES) * ENTRY_BYTES
+    }
+
+    /// Address of the fine-grained MAC line covering `data_addr`.
+    pub fn mac_fine_line_of(&self, data_addr: u64) -> u64 {
+        MAC_FINE_BASE + ((data_addr / LINE_BYTES) * ENTRY_BYTES / LINE_BYTES) * LINE_BYTES
+    }
+
+    /// Address of the fine-grained MAC *entry* for a data line.
+    pub fn mac_fine_entry_of(&self, data_addr: u64) -> u64 {
+        MAC_FINE_BASE + (data_addr / LINE_BYTES) * ENTRY_BYTES
+    }
+
+    /// The chain of tree-node line addresses from the node covering
+    /// `vn_line_index` up to (and including) the node directly under the
+    /// root, lowest level first.
+    pub fn tree_path(&self, vn_line_index: u64) -> Vec<u64> {
+        let mut path = Vec::with_capacity(self.level_widths.len());
+        let mut idx = vn_line_index / self.arity;
+        for (level, &width) in self.level_widths.iter().enumerate() {
+            debug_assert!(idx < width, "tree index out of range");
+            path.push(TREE_BASE + (self.level_offsets[level] + idx) * LINE_BYTES);
+            idx /= self.arity;
+        }
+        path
+    }
+
+    /// Parent tree-node line of a VN line address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vn_line_addr` is not inside the VN table.
+    pub fn vn_parent(&self, vn_line_addr: u64) -> u64 {
+        assert!((VN_BASE..TREE_BASE).contains(&vn_line_addr), "not a VN line");
+        let idx = (vn_line_addr - VN_BASE) / LINE_BYTES;
+        TREE_BASE + (self.level_offsets[0] + idx / self.arity) * LINE_BYTES
+    }
+
+    /// Parent of a tree-node line, or `None` for the top node (whose parent
+    /// is the on-chip root register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_addr` is not inside the tree pool.
+    pub fn tree_parent_of(&self, node_addr: u64) -> Option<u64> {
+        assert!((TREE_BASE..MAC_FINE_BASE).contains(&node_addr), "not a tree node");
+        let off = (node_addr - TREE_BASE) / LINE_BYTES;
+        let level = self
+            .level_offsets
+            .iter()
+            .zip(&self.level_widths)
+            .position(|(&o, &w)| off >= o && off < o + w)
+            .expect("node offset outside every level");
+        if level + 1 >= self.level_widths.len() {
+            return None;
+        }
+        let idx = off - self.level_offsets[level];
+        Some(TREE_BASE + (self.level_offsets[level + 1] + idx / self.arity) * LINE_BYTES)
+    }
+
+    /// Classifies a metadata address back into its kind (for stats).
+    pub fn classify(addr: u64) -> MetaKind {
+        if addr >= MAC_COARSE_BASE {
+            MetaKind::MacCoarse
+        } else if addr >= MAC_FINE_BASE {
+            MetaKind::MacFine
+        } else if addr >= TREE_BASE {
+            MetaKind::Tree
+        } else if addr >= VN_BASE {
+            MetaKind::Vn
+        } else {
+            MetaKind::Data
+        }
+    }
+}
+
+/// What a given address holds, per the fixed carve-out map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaKind {
+    /// Application data.
+    Data,
+    /// Baseline version-number table.
+    Vn,
+    /// Integrity-tree node.
+    Tree,
+    /// Fine-grained MAC table.
+    MacFine,
+    /// Coarse per-region MAC array.
+    MacCoarse,
+}
+
+/// Address of coarse MAC entry `block_idx` of `region`.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `block_idx` would spill into the next region's
+/// MAC array — a 4 GiB stride holds 2²⁹ entries, i.e. 256 GiB of data at
+/// 512 B granularity, so real workloads never get close.
+pub fn mac_coarse_entry(region: RegionId, block_idx: u64) -> u64 {
+    debug_assert!(
+        block_idx < MAC_COARSE_REGION_STRIDE / ENTRY_BYTES,
+        "coarse MAC index overflows the region's array"
+    );
+    MAC_COARSE_BASE + region.0 as u64 * MAC_COARSE_REGION_STRIDE + block_idx * ENTRY_BYTES
+}
+
+/// Line address containing [`mac_coarse_entry`].
+pub fn mac_coarse_line(region: RegionId, block_idx: u64) -> u64 {
+    mac_coarse_entry(region, block_idx) & !(LINE_BYTES - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vn_line_covers_512_bytes_of_data() {
+        let l = BaselineLayout::new(1 << 30, 8);
+        let base = l.vn_line_of(0);
+        for i in 0..8 {
+            assert_eq!(l.vn_line_of(i * 64), base);
+        }
+        assert_eq!(l.vn_line_of(512), base + 64);
+    }
+
+    #[test]
+    fn tree_depth_shrinks_by_arity() {
+        // 1 GiB data → 16 Mi data lines → 2 Mi VN lines →
+        // 8-ary: 256 Ki, 32 Ki, 4 Ki, 512, 64, 8, 1 → 7 levels.
+        let l = BaselineLayout::new(1 << 30, 8);
+        assert_eq!(l.tree_depth(), 7);
+        // 16 GiB (the paper's protected size) adds ~1.3 levels → 9.
+        let l16 = BaselineLayout::new(16 << 30, 8);
+        assert_eq!(l16.tree_depth(), 9);
+    }
+
+    #[test]
+    fn tree_path_climbs_to_single_node() {
+        let l = BaselineLayout::new(1 << 30, 8);
+        let path = l.tree_path(l.vn_line_index(0x12345040));
+        assert_eq!(path.len(), l.tree_depth());
+        // Monotone addresses: each level lives after the previous one.
+        for w in path.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // The final node is the unique top node.
+        let other = l.tree_path(l.vn_line_index(0));
+        assert_eq!(path.last(), other.last());
+    }
+
+    #[test]
+    fn siblings_share_a_parent() {
+        let l = BaselineLayout::new(1 << 30, 8);
+        // VN lines 0..8 share their level-0 parent.
+        let p0 = l.tree_path(0);
+        let p7 = l.tree_path(7);
+        let p8 = l.tree_path(8);
+        assert_eq!(p0[0], p7[0]);
+        assert_ne!(p0[0], p8[0]);
+        assert_eq!(p0[1], p8[1], "grandparent shared across 64 VN lines");
+    }
+
+    #[test]
+    fn classify_partitions_address_space() {
+        assert_eq!(BaselineLayout::classify(0x1000), MetaKind::Data);
+        assert_eq!(BaselineLayout::classify(VN_BASE + 8), MetaKind::Vn);
+        assert_eq!(BaselineLayout::classify(TREE_BASE), MetaKind::Tree);
+        assert_eq!(BaselineLayout::classify(MAC_FINE_BASE + 64), MetaKind::MacFine);
+        assert_eq!(
+            BaselineLayout::classify(mac_coarse_entry(RegionId(3), 10)),
+            MetaKind::MacCoarse
+        );
+    }
+
+    #[test]
+    fn coarse_mac_regions_do_not_collide() {
+        let max_idx = MAC_COARSE_REGION_STRIDE / ENTRY_BYTES - 1;
+        let a = mac_coarse_entry(RegionId(0), max_idx);
+        let b = mac_coarse_entry(RegionId(1), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn parent_chain_matches_tree_path() {
+        let l = BaselineLayout::new(1 << 30, 8);
+        let data_addr = 0x2345_6780u64;
+        let vn_line = l.vn_line_of(data_addr);
+        let path = l.tree_path(l.vn_line_index(data_addr));
+        // Walk parents and compare against the path.
+        let mut chain = vec![l.vn_parent(vn_line)];
+        while let Some(p) = l.tree_parent_of(*chain.last().unwrap()) {
+            chain.push(p);
+        }
+        assert_eq!(chain, path);
+    }
+
+    #[test]
+    fn mac_fine_packs_eight_per_line() {
+        let l = BaselineLayout::new(1 << 30, 8);
+        assert_eq!(l.mac_fine_line_of(0), l.mac_fine_line_of(7 * 64));
+        assert_ne!(l.mac_fine_line_of(0), l.mac_fine_line_of(8 * 64));
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-region protection policy: MAC granularity selection.
+//!
+//! MGX matches MAC granularity to the accelerator's data-movement
+//! granularity (paper §III-C): streamed tensors get one MAC per 512 B,
+//! randomly gathered structures (DLRM embedding tables, GACT reference
+//! chunks) keep per-64 B MACs, and graph adjacency tiles get one MAC per
+//! tile because the tiling is fixed across iterations (§V-B).
+
+use mgx_trace::{DataClass, RegionMap};
+
+/// How many data bytes one MAC covers in a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacGranularity {
+    /// One MAC per fixed-size block (must be a multiple of 64).
+    Bytes(u64),
+    /// One MAC per application-level request (tile-granular integrity,
+    /// used for the read-only adjacency structure whose tiles are re-read
+    /// identically every iteration).
+    PerRequest,
+}
+
+impl MacGranularity {
+    /// The paper's default coarse granularity (512 B).
+    pub const COARSE: MacGranularity = MacGranularity::Bytes(512);
+    /// Cache-line granularity (the baseline's, and MGX's for random-access
+    /// regions).
+    pub const FINE: MacGranularity = MacGranularity::Bytes(64);
+}
+
+/// Scheme-wide configuration of the MGX engine.
+#[derive(Debug, Clone)]
+pub struct ProtectionConfig {
+    /// Granularity for regions with no class-specific override.
+    pub default_granularity: MacGranularity,
+    /// Protected data capacity (drives baseline tree depth).
+    pub protected_bytes: u64,
+    /// Fan-out of the baseline's integrity tree (8 in Intel's MEE).
+    pub tree_arity: u64,
+    /// Baseline metadata-cache capacity in bytes (32 KB in §VI-A).
+    pub metadata_cache_bytes: u64,
+}
+
+impl Default for ProtectionConfig {
+    fn default() -> Self {
+        Self {
+            default_granularity: MacGranularity::COARSE,
+            protected_bytes: 16 << 30,
+            tree_arity: 8,
+            metadata_cache_bytes: 32 << 10,
+        }
+    }
+}
+
+impl ProtectionConfig {
+    /// The granularity MGX uses for a region of class `class`.
+    ///
+    /// Mirrors the paper's choices: embedding tables stay fine-grained
+    /// (§VI-A), GACT reference/query chunks stay fine-grained (§VII-A),
+    /// adjacency tiles get per-tile MACs (§V-B), everything else uses the
+    /// coarse default.
+    pub fn granularity_for(&self, class: DataClass) -> MacGranularity {
+        match class {
+            DataClass::Embedding => MacGranularity::FINE,
+            DataClass::Reference | DataClass::Query => MacGranularity::FINE,
+            DataClass::Adjacency => MacGranularity::PerRequest,
+            _ => self.default_granularity,
+        }
+    }
+
+    /// Resolves the per-region granularity table for a trace's regions.
+    pub fn resolve(&self, regions: &RegionMap) -> Vec<MacGranularity> {
+        regions.iter().map(|(_, r)| self.granularity_for(r.class)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let cfg = ProtectionConfig::default();
+        assert_eq!(cfg.granularity_for(DataClass::Feature), MacGranularity::Bytes(512));
+        assert_eq!(cfg.granularity_for(DataClass::Weight), MacGranularity::Bytes(512));
+        assert_eq!(cfg.granularity_for(DataClass::Embedding), MacGranularity::Bytes(64));
+        assert_eq!(cfg.granularity_for(DataClass::Adjacency), MacGranularity::PerRequest);
+        assert_eq!(cfg.granularity_for(DataClass::Reference), MacGranularity::Bytes(64));
+    }
+
+    #[test]
+    fn resolve_maps_each_region() {
+        let mut regions = RegionMap::new();
+        regions.alloc("w", 4096, DataClass::Weight);
+        regions.alloc("emb", 4096, DataClass::Embedding);
+        let cfg = ProtectionConfig::default();
+        let table = cfg.resolve(&regions);
+        assert_eq!(table, vec![MacGranularity::Bytes(512), MacGranularity::Bytes(64)]);
+    }
+}

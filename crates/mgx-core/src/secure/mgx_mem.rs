@@ -1,0 +1,316 @@
+//! The MGX functional secure memory.
+
+use crate::layout;
+use crate::policy::MacGranularity;
+use mgx_crypto::aes::Aes128;
+use mgx_crypto::ctr::xor_keystream;
+use mgx_crypto::mac::{GmacTagger, Mac};
+use mgx_crypto::TagMismatch;
+use mgx_trace::RegionId;
+
+use super::UntrustedMemory;
+
+/// Secure memory with kernel-supplied (on-chip) version numbers and
+/// application-granularity MACs — the full MGX design, functionally.
+///
+/// * `write_block` encrypts with AES-CTR under counter `addr ‖ tagged_vn`
+///   (per 16-byte AES block — the address makes every block's counter
+///   unique even under a shared VN) and stores a truncated 64-bit MAC of
+///   `(ciphertext, addr, vn)` at the block's MAC slot.
+/// * `read_block` re-derives the keystream from the *kernel-supplied* VN
+///   and verifies the MAC. A stale VN (replay), moved ciphertext
+///   (relocation) or flipped bit (corruption) all fail verification.
+///
+/// There is deliberately **no** VN storage and **no** integrity tree here —
+/// that is the paper's contribution.
+///
+/// # Example
+///
+/// ```
+/// use mgx_core::secure::MgxSecureMemory;
+/// use mgx_core::vn::{DnnVnState, TensorId};
+/// use mgx_trace::RegionId;
+///
+/// # fn main() -> Result<(), mgx_crypto::TagMismatch> {
+/// let mut mem = MgxSecureMemory::new(b"encryption-key-0", b"integrity-key-00");
+/// let mut kernel = DnnVnState::new();
+/// let y = kernel.register_feature();
+/// let region = RegionId(0);
+///
+/// let vn = kernel.feature_write_vn(y);
+/// mem.write_block(region, 0x1000, &[7u8; 512], vn);
+/// let back = mem.read_block(region, 0x1000, 512, kernel.feature_read_vn(y))?;
+/// assert_eq!(back, vec![7u8; 512]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MgxSecureMemory {
+    enc: Aes128,
+    mac: GmacTagger,
+    mem: UntrustedMemory,
+    granularity: u64,
+}
+
+impl MgxSecureMemory {
+    /// Creates a secure memory with fresh session keys and the paper's
+    /// default 512-byte MAC granularity.
+    pub fn new(enc_key: &[u8; 16], mac_key: &[u8; 16]) -> Self {
+        Self::with_granularity(enc_key, mac_key, MacGranularity::COARSE)
+    }
+
+    /// Creates a secure memory with an explicit MAC granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the granularity is [`MacGranularity::PerRequest`] (use
+    /// [`MgxSecureMemory::write_tile`]/[`MgxSecureMemory::read_tile`] for
+    /// tile-granular regions) or not a multiple of 16 bytes.
+    pub fn with_granularity(
+        enc_key: &[u8; 16],
+        mac_key: &[u8; 16],
+        granularity: MacGranularity,
+    ) -> Self {
+        let g = match granularity {
+            MacGranularity::Bytes(g) => g,
+            MacGranularity::PerRequest => {
+                panic!("PerRequest granularity uses the write_tile/read_tile API")
+            }
+        };
+        assert!(g % 16 == 0 && g > 0, "granularity must be a positive multiple of 16");
+        Self {
+            enc: Aes128::new(enc_key),
+            mac: GmacTagger::new(mac_key),
+            mem: UntrustedMemory::new(),
+            granularity: g,
+        }
+    }
+
+    /// The MAC granularity in bytes.
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+
+    /// Adversary access to the underlying untrusted DRAM.
+    pub fn untrusted_mut(&mut self) -> &mut UntrustedMemory {
+        &mut self.mem
+    }
+
+    fn check_block(&self, addr: u64, len: usize) {
+        assert_eq!(addr % self.granularity, 0, "address must be block aligned");
+        assert_eq!(len as u64, self.granularity, "length must equal the MAC granularity");
+    }
+
+    /// Encrypts and stores one protection block with the given tagged VN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr`/`data.len()` don't match the configured granularity.
+    pub fn write_block(&mut self, region: RegionId, addr: u64, data: &[u8], tagged_vn: u64) {
+        self.check_block(addr, data.len());
+        let block_idx = addr / self.granularity;
+        self.seal(layout::mac_coarse_entry(region, block_idx), addr, data, tagged_vn);
+    }
+
+    /// Reads back and verifies one protection block.
+    ///
+    /// # Errors
+    ///
+    /// [`TagMismatch`] if the ciphertext or MAC was tampered with, moved
+    /// from another address, or if `tagged_vn` is not the VN of the last
+    /// write (replay or kernel bug).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr`/`len` don't match the configured granularity.
+    pub fn read_block(
+        &self,
+        region: RegionId,
+        addr: u64,
+        len: usize,
+        tagged_vn: u64,
+    ) -> Result<Vec<u8>, TagMismatch> {
+        self.check_block(addr, len);
+        let block_idx = addr / self.granularity;
+        self.open(layout::mac_coarse_entry(region, block_idx), addr, len, tagged_vn)
+    }
+
+    /// Stores a variable-size tile (adjacency-style regions where each
+    /// request carries one MAC, `MacGranularity::PerRequest`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or the length is not 16-byte aligned.
+    pub fn write_tile(
+        &mut self,
+        region: RegionId,
+        tile: u64,
+        addr: u64,
+        data: &[u8],
+        tagged_vn: u64,
+    ) {
+        self.seal(layout::mac_coarse_entry(region, tile), addr, data, tagged_vn);
+    }
+
+    /// Reads and verifies a variable-size tile written by
+    /// [`MgxSecureMemory::write_tile`].
+    ///
+    /// # Errors
+    ///
+    /// [`TagMismatch`] on any tampering or VN mismatch, as for
+    /// [`MgxSecureMemory::read_block`].
+    pub fn read_tile(
+        &self,
+        region: RegionId,
+        tile: u64,
+        addr: u64,
+        len: usize,
+        tagged_vn: u64,
+    ) -> Result<Vec<u8>, TagMismatch> {
+        self.open(layout::mac_coarse_entry(region, tile), addr, len, tagged_vn)
+    }
+
+    fn seal(&mut self, mac_slot: u64, addr: u64, data: &[u8], tagged_vn: u64) {
+        let mut ct = data.to_vec();
+        xor_keystream(&self.enc, addr, tagged_vn, &mut ct);
+        let tag = self.mac.tag(&ct, addr, tagged_vn).truncated64();
+        self.mem.write(addr, &ct);
+        self.mem.write(mac_slot, &tag.to_be_bytes());
+    }
+
+    fn open(
+        &self,
+        mac_slot: u64,
+        addr: u64,
+        len: usize,
+        tagged_vn: u64,
+    ) -> Result<Vec<u8>, TagMismatch> {
+        let mut ct = self.mem.read_vec(addr, len);
+        let mut stored = [0u8; 8];
+        self.mem.read(mac_slot, &mut stored);
+        let expect = self.mac.tag(&ct, addr, tagged_vn).truncated64();
+        if expect != u64::from_be_bytes(stored) {
+            return Err(TagMismatch);
+        }
+        xor_keystream(&self.enc, addr, tagged_vn, &mut ct);
+        Ok(ct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EK: &[u8; 16] = b"enc-key-unit-000";
+    const MK: &[u8; 16] = b"mac-key-unit-000";
+
+    fn mem() -> MgxSecureMemory {
+        MgxSecureMemory::new(EK, MK)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut m = mem();
+        let data = vec![0xabu8; 512];
+        m.write_block(RegionId(0), 0, &data, 1);
+        assert_eq!(m.read_block(RegionId(0), 0, 512, 1).unwrap(), data);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let mut m = mem();
+        let data = vec![0x55u8; 512];
+        m.write_block(RegionId(0), 0x2000, &data, 3);
+        let raw = m.untrusted_mut().read_vec(0x2000, 512);
+        assert_ne!(raw, data, "plaintext must never reach DRAM");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut m = mem();
+        m.write_block(RegionId(0), 0, &[1u8; 512], 1);
+        m.untrusted_mut().corrupt(100, 0x01);
+        assert_eq!(m.read_block(RegionId(0), 0, 512, 1), Err(TagMismatch));
+    }
+
+    #[test]
+    fn mac_corruption_detected() {
+        let mut m = mem();
+        m.write_block(RegionId(0), 0, &[1u8; 512], 1);
+        m.untrusted_mut().corrupt(layout::mac_coarse_entry(RegionId(0), 0), 0x80);
+        assert_eq!(m.read_block(RegionId(0), 0, 512, 1), Err(TagMismatch));
+    }
+
+    #[test]
+    fn replay_detected_without_any_tree() {
+        let mut m = mem();
+        let slot = layout::mac_coarse_entry(RegionId(0), 0);
+        m.write_block(RegionId(0), 0, b"version-one-data".repeat(32).as_slice(), 1);
+        // Adversary snapshots ciphertext *and* MAC.
+        let old_ct = m.untrusted_mut().snapshot(0, 512);
+        let old_mac = m.untrusted_mut().snapshot(slot, 8);
+        // Kernel overwrites with VN 2.
+        m.write_block(RegionId(0), 0, b"version-two-data".repeat(32).as_slice(), 2);
+        // Adversary replays the old pair.
+        m.untrusted_mut().restore(0, &old_ct);
+        m.untrusted_mut().restore(slot, &old_mac);
+        // The kernel reads with the VN it knows is current (2): rejected.
+        assert_eq!(m.read_block(RegionId(0), 0, 512, 2), Err(TagMismatch));
+    }
+
+    #[test]
+    fn relocation_detected() {
+        let mut m = mem();
+        m.write_block(RegionId(0), 0, &[7u8; 512], 1);
+        m.write_block(RegionId(0), 512, &[9u8; 512], 1);
+        // Move block 0's ciphertext and MAC onto block 1's slots.
+        m.untrusted_mut().relocate(0, 512, 512);
+        let s0 = layout::mac_coarse_entry(RegionId(0), 0);
+        let s1 = layout::mac_coarse_entry(RegionId(0), 1);
+        m.untrusted_mut().relocate(s0, s1, 8);
+        assert_eq!(m.read_block(RegionId(0), 512, 512, 1), Err(TagMismatch));
+    }
+
+    #[test]
+    fn wrong_vn_rejected() {
+        let mut m = mem();
+        m.write_block(RegionId(0), 0, &[7u8; 512], 5);
+        assert!(m.read_block(RegionId(0), 0, 512, 5).is_ok());
+        assert_eq!(m.read_block(RegionId(0), 0, 512, 4), Err(TagMismatch));
+        assert_eq!(m.read_block(RegionId(0), 0, 512, 6), Err(TagMismatch));
+    }
+
+    #[test]
+    fn shared_vn_across_blocks_is_safe() {
+        // One VN for a whole tensor: blocks still decrypt independently and
+        // cannot be swapped for one another.
+        let mut m = mem();
+        m.write_block(RegionId(0), 0, &[1u8; 512], 9);
+        m.write_block(RegionId(0), 512, &[2u8; 512], 9);
+        assert_eq!(m.read_block(RegionId(0), 0, 512, 9).unwrap(), vec![1u8; 512]);
+        assert_eq!(m.read_block(RegionId(0), 512, 512, 9).unwrap(), vec![2u8; 512]);
+        // Swap attack across blocks sharing a VN still fails (address is in
+        // both the keystream counter and the MAC).
+        m.untrusted_mut().relocate(0, 512, 512);
+        let s0 = layout::mac_coarse_entry(RegionId(0), 0);
+        let s1 = layout::mac_coarse_entry(RegionId(0), 1);
+        m.untrusted_mut().relocate(s0, s1, 8);
+        assert_eq!(m.read_block(RegionId(0), 512, 512, 9), Err(TagMismatch));
+    }
+
+    #[test]
+    fn tile_api_roundtrip_and_replay() {
+        let mut m = mem();
+        let r = RegionId(3);
+        m.write_tile(r, 0, 0x10000, &[3u8; 208], 1); // irregular tile size
+        assert_eq!(m.read_tile(r, 0, 0x10000, 208, 1).unwrap(), vec![3u8; 208]);
+        assert_eq!(m.read_tile(r, 0, 0x10000, 208, 2), Err(TagMismatch));
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity")]
+    fn wrong_block_size_panics() {
+        let mut m = mem();
+        m.write_block(RegionId(0), 0, &[0u8; 64], 1);
+    }
+}

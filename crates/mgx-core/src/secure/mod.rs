@@ -1,0 +1,24 @@
+//! Functional secure memory: real encryption and integrity over an
+//! untrusted DRAM with an adversary API.
+//!
+//! Two complete implementations mirror the two schemes the paper compares:
+//!
+//! * [`MgxSecureMemory`] — version numbers are supplied by the kernel
+//!   (generated on-chip, see [`crate::vn`]); only ciphertext and MACs live
+//!   off-chip. No integrity tree exists, yet replay is still detected
+//!   because a replayed ciphertext authenticates only under its *old* VN,
+//!   which the kernel will never present again.
+//! * [`BaselineSecureMemory`] — a conventional secure-processor memory:
+//!   per-line VNs stored off-chip, protected by an 8-ary Merkle tree with an
+//!   on-chip root, plus per-line MACs.
+//!
+//! Both sit on [`UntrustedMemory`], whose adversary methods (corrupt,
+//! replay, relocate) power the attack test-suites.
+
+mod baseline_mem;
+mod mgx_mem;
+mod untrusted;
+
+pub use baseline_mem::BaselineSecureMemory;
+pub use mgx_mem::MgxSecureMemory;
+pub use untrusted::UntrustedMemory;

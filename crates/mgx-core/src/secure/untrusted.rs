@@ -1,0 +1,145 @@
+//! The untrusted off-chip memory, with an adversary interface.
+
+use std::collections::HashMap;
+
+const PAGE_BYTES: u64 = 4096;
+
+/// A sparse byte-addressable store modelling DRAM that an attacker fully
+/// controls (the paper's threat model, §II).
+///
+/// The secure-memory layers store only ciphertext and MACs here. The
+/// adversary methods let tests mount the §III-D attacks: bit corruption,
+/// replay of stale (data, MAC) pairs, and relocation/substitution of valid
+/// pairs to other addresses.
+///
+/// # Example
+///
+/// ```
+/// use mgx_core::secure::UntrustedMemory;
+///
+/// let mut mem = UntrustedMemory::new();
+/// mem.write(0x1000, b"ciphertext");
+/// let mut buf = [0u8; 10];
+/// mem.read(0x1000, &mut buf);
+/// assert_eq!(&buf, b"ciphertext");
+/// mem.corrupt(0x1003, 0xff); // attacker flips bits
+/// mem.read(0x1000, &mut buf);
+/// assert_ne!(&buf, b"ciphertext");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UntrustedMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+}
+
+impl UntrustedMemory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of 4 KiB pages actually materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Copies `data` into memory at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            let page = self
+                .pages
+                .entry(a / PAGE_BYTES)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES as usize]));
+            page[(a % PAGE_BYTES) as usize] = b;
+        }
+    }
+
+    /// Fills `buf` from memory at `addr` (unmapped bytes read as zero).
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let a = addr + i as u64;
+            *b = self
+                .pages
+                .get(&(a / PAGE_BYTES))
+                .map_or(0, |p| p[(a % PAGE_BYTES) as usize]);
+        }
+    }
+
+    /// Convenience: reads `len` bytes into a fresh vector.
+    pub fn read_vec(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.read(addr, &mut v);
+        v
+    }
+
+    /// **Adversary**: XORs the byte at `addr` with `xor`.
+    pub fn corrupt(&mut self, addr: u64, xor: u8) {
+        let mut b = [0u8];
+        self.read(addr, &mut b);
+        self.write(addr, &[b[0] ^ xor]);
+    }
+
+    /// **Adversary**: snapshots a range for a later replay.
+    pub fn snapshot(&self, addr: u64, len: usize) -> Vec<u8> {
+        self.read_vec(addr, len)
+    }
+
+    /// **Adversary**: restores a snapshot (replay attack).
+    pub fn restore(&mut self, addr: u64, snapshot: &[u8]) {
+        self.write(addr, snapshot);
+    }
+
+    /// **Adversary**: copies `len` bytes from `src` to `dst`
+    /// (relocation/substitution attack).
+    pub fn relocate(&mut self, src: u64, dst: u64, len: usize) {
+        let data = self.read_vec(src, len);
+        self.write(dst, &data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let mem = UntrustedMemory::new();
+        assert_eq!(mem.read_vec(0xdead_0000, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_pages() {
+        let mut mem = UntrustedMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        // Straddle a page boundary.
+        mem.write(PAGE_BYTES - 100, &data);
+        assert_eq!(mem.read_vec(PAGE_BYTES - 100, 256), data);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn corrupt_flips_bits() {
+        let mut mem = UntrustedMemory::new();
+        mem.write(10, &[0b1010_1010]);
+        mem.corrupt(10, 0b0000_1111);
+        assert_eq!(mem.read_vec(10, 1), vec![0b1010_0101]);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_old_contents() {
+        let mut mem = UntrustedMemory::new();
+        mem.write(0, b"version-1");
+        let snap = mem.snapshot(0, 9);
+        mem.write(0, b"version-2");
+        mem.restore(0, &snap);
+        assert_eq!(mem.read_vec(0, 9), b"version-1");
+    }
+
+    #[test]
+    fn relocate_copies_ranges() {
+        let mut mem = UntrustedMemory::new();
+        mem.write(0x100, b"block");
+        mem.relocate(0x100, 0x900, 5);
+        assert_eq!(mem.read_vec(0x900, 5), b"block");
+    }
+}

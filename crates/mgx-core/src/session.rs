@@ -1,0 +1,423 @@
+//! Secure-session establishment and remote attestation (paper §II, Fig 1).
+//!
+//! Before any protected computation, a remote user must (1) authenticate
+//! the accelerator through its manufacturer-embedded identity key
+//! (`SK_Accel`) and a certificate authority, (2) run an ephemeral
+//! Diffie–Hellman exchange to derive fresh session keys, and (3) verify an
+//! attestation report binding the device, the firmware, the application
+//! kernel, and the exchange transcript. This module implements that
+//! handshake end to end on the workspace's own primitives
+//! ([`mgx_crypto::bignum`], [`mgx_crypto::schnorr`], CMAC-based KDF,
+//! AES-GCM channel).
+//!
+//! ```text
+//! User                               Accelerator (TEE)
+//!  | ── nonce_u, g^a ───────────────────▶ |
+//!  | ◀─ cert(PK_Accel), g^b, report ───── |   report = Sign_SK(transcript ‖
+//!  |      verify cert, verify report      |            fw_hash ‖ kernel_hash)
+//!  |  K = KDF(g^ab)                       |  K = KDF(g^ab)
+//!  | ══ AES-GCM channel (kernel, data) ══ |
+//! ```
+
+use mgx_crypto::aes::Aes128;
+use mgx_crypto::bignum::BigUint;
+use mgx_crypto::gcm;
+use mgx_crypto::mac::CmacAes128;
+use mgx_crypto::schnorr::{self, Group, KeyPair, Signature};
+use mgx_crypto::TagMismatch;
+
+/// A measurement (hash stand-in) of firmware or kernel code: CMAC under a
+/// fixed public key, as elsewhere in this reproduction.
+pub fn measure(what: &[u8]) -> [u8; 16] {
+    CmacAes128::new(b"measurement-key!").mac_bytes(what).0
+}
+
+/// The manufacturer-embedded device identity (Fig 1's `SK_Accel`).
+#[derive(Debug, Clone)]
+pub struct DeviceIdentity {
+    keys: KeyPair,
+    /// Measurement of the running firmware.
+    pub firmware_hash: [u8; 16],
+}
+
+impl DeviceIdentity {
+    /// Provisions an identity from manufacturing entropy.
+    pub fn provision(group: &Group, secret: &[u8], firmware: &[u8]) -> Self {
+        Self { keys: KeyPair::from_secret(group, secret), firmware_hash: measure(firmware) }
+    }
+
+    /// The public identity key (`PK_Accel`).
+    pub fn public_key(&self) -> &BigUint {
+        &self.keys.pk
+    }
+}
+
+/// A certificate: the CA's signature over the device public key.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// The certified device public key.
+    pub device_pk: BigUint,
+    /// CA signature over it.
+    pub signature: Signature,
+}
+
+/// The certificate authority users already trust (as with Intel SGX's
+/// attestation infrastructure, §II).
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    keys: KeyPair,
+}
+
+impl CertificateAuthority {
+    /// Creates a CA from its root secret.
+    pub fn new(group: &Group, secret: &[u8]) -> Self {
+        Self { keys: KeyPair::from_secret(group, secret) }
+    }
+
+    /// The CA's public verification key (pre-installed on clients).
+    pub fn public_key(&self) -> &BigUint {
+        &self.keys.pk
+    }
+
+    /// Issues a certificate for a device key.
+    pub fn certify(&self, group: &Group, device_pk: &BigUint, nonce: &[u8]) -> Certificate {
+        Certificate {
+            device_pk: device_pk.clone(),
+            signature: schnorr::sign(group, &self.keys, &device_pk.to_be_bytes(), nonce),
+        }
+    }
+}
+
+/// The signed attestation report (§II: hardware + firmware + kernel + the
+/// key-exchange transcript, so the session keys are bound to the attested
+/// state).
+#[derive(Debug, Clone)]
+pub struct AttestationReport {
+    /// Firmware measurement.
+    pub firmware_hash: [u8; 16],
+    /// Application-kernel measurement.
+    pub kernel_hash: [u8; 16],
+    /// Signature over `transcript ‖ firmware ‖ kernel`.
+    pub signature: Signature,
+}
+
+/// Derived session keys: one for memory/channel encryption, one for
+/// integrity (the paper's `K_Enc` / `K_IV` pair, §II).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// AES-128 encryption key.
+    pub enc_key: [u8; 16],
+    /// MAC/integrity key.
+    pub mac_key: [u8; 16],
+}
+
+fn kdf(shared: &BigUint, transcript: &[u8]) -> SessionKeys {
+    let prf = CmacAes128::new(b"session-kdf-key!");
+    let mut buf = shared.to_be_bytes();
+    buf.extend_from_slice(transcript);
+    buf.push(1);
+    let enc_key = prf.mac_bytes(&buf).0;
+    *buf.last_mut().expect("non-empty") = 2;
+    let mac_key = prf.mac_bytes(&buf).0;
+    SessionKeys { enc_key, mac_key }
+}
+
+fn transcript(ga: &BigUint, gb: &BigUint, nonce_user: &[u8]) -> Vec<u8> {
+    let mut t = Vec::new();
+    t.extend_from_slice(nonce_user);
+    t.push(0x01);
+    t.extend_from_slice(&ga.to_be_bytes());
+    t.push(0x02);
+    t.extend_from_slice(&gb.to_be_bytes());
+    t
+}
+
+/// The accelerator's side of the handshake.
+#[derive(Debug)]
+pub struct AcceleratorSession {
+    group: Group,
+    identity: DeviceIdentity,
+    kernel_hash: [u8; 16],
+    keys: Option<SessionKeys>,
+}
+
+/// The accelerator's first response: its ephemeral share plus the report.
+#[derive(Debug, Clone)]
+pub struct HandshakeResponse {
+    /// Ephemeral DH share `g^b`.
+    pub gb: BigUint,
+    /// Attestation report over the transcript.
+    pub report: AttestationReport,
+}
+
+impl AcceleratorSession {
+    /// Starts a session on the device for an (attested) kernel binary.
+    pub fn new(group: Group, identity: DeviceIdentity, kernel: &[u8]) -> Self {
+        Self { group, identity, kernel_hash: measure(kernel), keys: None }
+    }
+
+    /// Processes the user's hello, returning the DH share and the signed
+    /// attestation report. `eph_secret`/`sig_nonce` are fresh entropy from
+    /// the device TRNG.
+    pub fn respond(
+        &mut self,
+        nonce_user: &[u8],
+        ga: &BigUint,
+        eph_secret: &[u8],
+        sig_nonce: &[u8],
+    ) -> HandshakeResponse {
+        let b = BigUint::from_be_bytes(eph_secret).rem(&self.group.q);
+        let gb = self.group.g.mod_pow(&b, &self.group.p);
+        let shared = ga.mod_pow(&b, &self.group.p);
+        let t = transcript(ga, &gb, nonce_user);
+        self.keys = Some(kdf(&shared, &t));
+        let mut msg = t;
+        msg.extend_from_slice(&self.identity.firmware_hash);
+        msg.extend_from_slice(&self.kernel_hash);
+        HandshakeResponse {
+            gb,
+            report: AttestationReport {
+                firmware_hash: self.identity.firmware_hash,
+                kernel_hash: self.kernel_hash,
+                signature: schnorr::sign(&self.group, &self.identity.keys, &msg, sig_nonce),
+            },
+        }
+    }
+
+    /// The established keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handshake has not completed.
+    pub fn keys(&self) -> &SessionKeys {
+        self.keys.as_ref().expect("handshake not complete")
+    }
+
+    /// Decrypts a user payload from the secure channel.
+    ///
+    /// # Errors
+    ///
+    /// [`TagMismatch`] if the payload fails authentication.
+    pub fn receive(&self, iv: &[u8; 12], ct: &[u8], tag: &[u8; 16]) -> Result<Vec<u8>, TagMismatch> {
+        gcm::open(&Aes128::new(&self.keys().enc_key), iv, b"mgx-session", ct, tag)
+    }
+}
+
+/// The remote user's side of the handshake.
+#[derive(Debug)]
+pub struct UserSession {
+    group: Group,
+    ca_pk: BigUint,
+    nonce: Vec<u8>,
+    a: BigUint,
+    /// The user's ephemeral share `g^a` to send.
+    pub ga: BigUint,
+    expected_firmware: [u8; 16],
+    expected_kernel: [u8; 16],
+}
+
+impl UserSession {
+    /// Starts a handshake. The user pins the CA key and the expected
+    /// firmware/kernel measurements (it compiled the kernel itself, §IV-B).
+    pub fn start(
+        group: Group,
+        ca_pk: BigUint,
+        nonce: &[u8],
+        eph_secret: &[u8],
+        firmware: &[u8],
+        kernel: &[u8],
+    ) -> Self {
+        let a = BigUint::from_be_bytes(eph_secret).rem(&group.q);
+        let ga = group.g.mod_pow(&a, &group.p);
+        Self {
+            group,
+            ca_pk,
+            nonce: nonce.to_vec(),
+            a,
+            ga,
+            expected_firmware: measure(firmware),
+            expected_kernel: measure(kernel),
+        }
+    }
+
+    /// Verifies the certificate chain and attestation report, deriving the
+    /// session keys on success.
+    ///
+    /// # Errors
+    ///
+    /// [`TagMismatch`] if the certificate is not from the pinned CA, the
+    /// report signature is invalid, or the measurements differ from the
+    /// expected firmware/kernel.
+    pub fn finish(
+        &self,
+        cert: &Certificate,
+        resp: &HandshakeResponse,
+    ) -> Result<SessionKeys, TagMismatch> {
+        // 1. Certificate: PK_Accel really belongs to the manufacturer.
+        schnorr::verify(
+            &self.group,
+            &self.ca_pk,
+            &cert.device_pk.to_be_bytes(),
+            &cert.signature,
+        )?;
+        // 2. Measurements match what the user expects to be running.
+        if resp.report.firmware_hash != self.expected_firmware
+            || resp.report.kernel_hash != self.expected_kernel
+        {
+            return Err(TagMismatch);
+        }
+        // 3. Report signature binds the transcript + measurements.
+        let t = transcript(&self.ga, &resp.gb, &self.nonce);
+        let mut msg = t.clone();
+        msg.extend_from_slice(&resp.report.firmware_hash);
+        msg.extend_from_slice(&resp.report.kernel_hash);
+        schnorr::verify(&self.group, &cert.device_pk, &msg, &resp.report.signature)?;
+        // 4. Derive the session keys.
+        let shared = resp.gb.mod_pow(&self.a, &self.group.p);
+        Ok(kdf(&shared, &t))
+    }
+
+    /// Encrypts a payload (kernel binary, input data) for the accelerator.
+    pub fn send(&self, keys: &SessionKeys, iv: &[u8; 12], payload: &[u8]) -> (Vec<u8>, [u8; 16]) {
+        gcm::seal(&Aes128::new(&keys.enc_key), iv, b"mgx-session", payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIRMWARE: &[u8] = b"mgx-firmware-v1.0";
+    const KERNEL: &[u8] = b"resnet50-inference-kernel";
+
+    struct World {
+        group: Group,
+        ca: CertificateAuthority,
+        cert: Certificate,
+        accel: AcceleratorSession,
+    }
+
+    fn setup() -> World {
+        let group = Group::test_256();
+        let ca = CertificateAuthority::new(&group, b"ca-root-secret-material-000001");
+        let device = DeviceIdentity::provision(&group, b"device-fuse-secret-0001", FIRMWARE);
+        let cert = ca.certify(&group, device.public_key(), b"ca-signing-nonce-01");
+        let accel = AcceleratorSession::new(group.clone(), device, KERNEL);
+        World { group, ca, cert, accel }
+    }
+
+    #[test]
+    fn full_handshake_agrees_on_keys_and_delivers_data() {
+        let mut w = setup();
+        let user = UserSession::start(
+            w.group.clone(),
+            w.ca.public_key().clone(),
+            b"user-nonce-01",
+            b"user-ephemeral-entropy-000001",
+            FIRMWARE,
+            KERNEL,
+        );
+        let resp = w.accel.respond(
+            b"user-nonce-01",
+            &user.ga,
+            b"device-ephemeral-entropy-0001",
+            b"device-sig-nonce-000000000001",
+        );
+        let keys = user.finish(&w.cert, &resp).expect("handshake verifies");
+        assert_eq!(&keys, w.accel.keys(), "both sides derive the same keys");
+
+        // Secure channel: user ships the (already attested) kernel inputs.
+        let (ct, tag) = user.send(&keys, &[7; 12], b"private user inputs");
+        let pt = w.accel.receive(&[7; 12], &ct, &tag).unwrap();
+        assert_eq!(pt, b"private user inputs");
+    }
+
+    #[test]
+    fn forged_certificate_is_rejected() {
+        let mut w = setup();
+        // An attacker self-signs a device key with a rogue CA.
+        let rogue_ca = CertificateAuthority::new(&w.group, b"rogue-ca-secret-000000000001");
+        let rogue_dev = DeviceIdentity::provision(&w.group, b"rogue-device-secret-01", FIRMWARE);
+        let rogue_cert = rogue_ca.certify(&w.group, rogue_dev.public_key(), b"rogue-nonce-1");
+        let user = UserSession::start(
+            w.group.clone(),
+            w.ca.public_key().clone(), // user still pins the real CA
+            b"user-nonce-02",
+            b"user-ephemeral-entropy-000002",
+            FIRMWARE,
+            KERNEL,
+        );
+        let resp = w.accel.respond(
+            b"user-nonce-02",
+            &user.ga,
+            b"device-ephemeral-entropy-0002",
+            b"device-sig-nonce-000000000002",
+        );
+        assert!(user.finish(&rogue_cert, &resp).is_err());
+    }
+
+    #[test]
+    fn wrong_kernel_measurement_is_rejected() {
+        let mut w = setup();
+        let user = UserSession::start(
+            w.group.clone(),
+            w.ca.public_key().clone(),
+            b"user-nonce-03",
+            b"user-ephemeral-entropy-000003",
+            FIRMWARE,
+            b"a-kernel-the-user-did-not-send",
+        );
+        let resp = w.accel.respond(
+            b"user-nonce-03",
+            &user.ga,
+            b"device-ephemeral-entropy-0003",
+            b"device-sig-nonce-000000000003",
+        );
+        assert!(user.finish(&w.cert, &resp).is_err(), "kernel substitution caught");
+    }
+
+    #[test]
+    fn transcript_tampering_is_rejected() {
+        let mut w = setup();
+        let user = UserSession::start(
+            w.group.clone(),
+            w.ca.public_key().clone(),
+            b"user-nonce-04",
+            b"user-ephemeral-entropy-000004",
+            FIRMWARE,
+            KERNEL,
+        );
+        let mut resp = w.accel.respond(
+            b"user-nonce-04",
+            &user.ga,
+            b"device-ephemeral-entropy-0004",
+            b"device-sig-nonce-000000000004",
+        );
+        // MITM swaps the DH share.
+        resp.gb = w.group.g.mod_pow(&BigUint::from_u64(12345), &w.group.p);
+        assert!(user.finish(&w.cert, &resp).is_err(), "signature binds g^b");
+    }
+
+    #[test]
+    fn channel_rejects_tampered_payloads() {
+        let mut w = setup();
+        let user = UserSession::start(
+            w.group.clone(),
+            w.ca.public_key().clone(),
+            b"user-nonce-05",
+            b"user-ephemeral-entropy-000005",
+            FIRMWARE,
+            KERNEL,
+        );
+        let resp = w.accel.respond(
+            b"user-nonce-05",
+            &user.ga,
+            b"device-ephemeral-entropy-0005",
+            b"device-sig-nonce-000000000005",
+        );
+        let keys = user.finish(&w.cert, &resp).unwrap();
+        let (mut ct, tag) = user.send(&keys, &[9; 12], b"model weights");
+        ct[0] ^= 1;
+        assert!(w.accel.receive(&[9; 12], &ct, &tag).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! AES-128 block cipher (FIPS-197).
+//!
+//! A straightforward, table-light implementation: the S-box is a constant
+//! table, everything else (ShiftRows, MixColumns, the key schedule) is
+//! computed. This keeps the code auditable and constant-table-small; the
+//! simulators in this workspace are throughput-bound on the DRAM model, not
+//! on AES.
+
+/// The AES S-box (forward substitution table).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// The inverse S-box, derived from [`SBOX`] at compile time.
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+/// Round constants for the AES-128 key schedule.
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply by `x` in GF(2⁸) modulo the AES polynomial `x⁸+x⁴+x³+x+1`.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// Generic GF(2⁸) multiplication (shift-and-add). Used by InvMixColumns.
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key: 11 round keys of 16 bytes each.
+///
+/// Construct once with [`Aes128::new`] and reuse for any number of block
+/// operations. The struct is cheap to clone and safe to share across threads.
+///
+/// # Example
+///
+/// ```
+/// use mgx_crypto::aes::Aes128;
+///
+/// let key = Aes128::new(b"0123456789abcdef");
+/// let pt = *b"a 16-byte block!";
+/// let ct = key.encrypt_block(&pt);
+/// assert_eq!(key.decrypt_block(&ct), pt);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl core::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        f.write_str("Aes128 {{ round_keys: <redacted> }}")
+    }
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key into the 11 round keys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        // The schedule works on 4-byte words; w[0..4] is the raw key.
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in t.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= RCON[i / 4];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut s = *block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut s = *block;
+        add_round_key(&mut s, &self.round_keys[10]);
+        for round in (1..10).rev() {
+            inv_shift_rows(&mut s);
+            inv_sub_bytes(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+            inv_mix_columns(&mut s);
+        }
+        inv_shift_rows(&mut s);
+        inv_sub_bytes(&mut s);
+        add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+#[inline]
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for (b, k) in s.iter_mut().zip(rk.iter()) {
+        *b ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+/// Row `r` of the state is bytes `{r, r+4, r+8, r+12}`; ShiftRows rotates row
+/// `r` left by `r` positions.
+#[inline]
+fn shift_rows(s: &mut [u8; 16]) {
+    let orig = *s;
+    for r in 1..4 {
+        for c in 0..4 {
+            s[4 * c + r] = orig[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    let orig = *s;
+    for r in 1..4 {
+        for c in 0..4 {
+            s[4 * ((c + r) % 4) + r] = orig[4 * c + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut s[4 * c..4 * c + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        let t = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = a0 ^ t ^ xtime(a0 ^ a1);
+        col[1] = a1 ^ t ^ xtime(a1 ^ a2);
+        col[2] = a2 ^ t ^ xtime(a2 ^ a3);
+        col[3] = a3 ^ t ^ xtime(a3 ^ a0);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut s[4 * c..4 * c + 4];
+        let (a0, a1, a2, a3) = (col[0], col[1], col[2], col[3]);
+        col[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+        col[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+        col[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+        col[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    /// FIPS-197 Appendix C.1 example vector.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key = Aes128::new(&hex16("000102030405060708090a0b0c0d0e0f"));
+        let pt = hex16("00112233445566778899aabbccddeeff");
+        let ct = key.encrypt_block(&pt);
+        assert_eq!(ct, hex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(key.decrypt_block(&ct), pt);
+    }
+
+    /// NIST SP 800-38A F.1.1 (ECB-AES128.Encrypt) first block.
+    #[test]
+    fn sp800_38a_ecb_block1() {
+        let key = Aes128::new(&hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let pt = hex16("6bc1bee22e409f96e93d7e117393172a");
+        assert_eq!(key.encrypt_block(&pt), hex16("3ad77bb40d7a3660a89ecaf32466ef97"));
+    }
+
+    #[test]
+    fn all_zero_key_known_answer() {
+        // AES-128 of the zero block under the zero key (widely published KAT,
+        // also the GHASH subkey H in GCM test case 1).
+        let key = Aes128::new(&[0u8; 16]);
+        assert_eq!(
+            key.encrypt_block(&[0u8; 16]),
+            hex16("66e94bd4ef8a2c3b884cfa59ca342b2e")
+        );
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many() {
+        let key = Aes128::new(b"roundtrip-key-00");
+        let mut block = [0u8; 16];
+        for i in 0..256 {
+            block[i % 16] = block[i % 16].wrapping_add(i as u8).rotate_left(3) ^ 0x5a;
+            let ct = key.encrypt_block(&block);
+            assert_eq!(key.decrypt_block(&ct), block, "roundtrip failed at iter {i}");
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::new(&[1u8; 16]);
+        let b = Aes128::new(&[2u8; 16]);
+        let pt = [7u8; 16];
+        assert_ne!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let key = Aes128::new(&[0x42; 16]);
+        let s = format!("{key:?}");
+        assert!(s.contains("redacted"));
+        assert!(!s.contains("42"));
+    }
+}

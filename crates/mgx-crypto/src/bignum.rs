@@ -1,0 +1,412 @@
+//! Arbitrary-precision unsigned integers for the key-exchange and
+//! attestation primitives (paper §II).
+//!
+//! The secure accelerator needs Diffie–Hellman key agreement and a
+//! public-key signature for remote attestation (Fig 1: `SK_Accel` /
+//! `PK_Accel`, certificate authority). Both reduce to modular
+//! exponentiation over large prime fields, which this module provides with
+//! a deliberately small, auditable implementation: little-endian `u64`
+//! limbs, schoolbook multiplication, and shift-subtract reduction. Fast
+//! enough for session setup (a handful of exponentiations), with no
+//! dependencies.
+
+/// An unsigned big integer (little-endian 64-bit limbs, no leading zero
+/// limb except for the value 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Self { limbs: vec![] }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// Parses big-endian bytes (leading zeros allowed).
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        let mut iter = bytes.rchunks(8);
+        for chunk in iter.by_ref() {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut out = Self { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Serializes to big-endian bytes without leading zeros (empty for 0).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// Parses a hexadecimal string (whitespace tolerated).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters.
+    pub fn from_hex(s: &str) -> Self {
+        let clean: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        let mut bytes = Vec::with_capacity(clean.len() / 2 + 1);
+        let padded = if clean.len() % 2 == 1 { format!("0{clean}") } else { clean };
+        for i in (0..padded.len()).step_by(2) {
+            bytes.push(u8::from_str_radix(&padded[i..i + 2], 16).expect("hex digit"));
+        }
+        Self::from_be_bytes(&bytes)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Tests bit `i` (LSB = 0).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs.get(i / 64).is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// Comparison.
+    pub fn cmp_val(&self, other: &Self) -> core::cmp::Ordering {
+        use core::cmp::Ordering;
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        o => return o,
+                    }
+                }
+                Ordering::Equal
+            }
+            o => o,
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u128;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let s = carry
+                + *self.limbs.get(i).unwrap_or(&0) as u128
+                + *other.limbs.get(i).unwrap_or(&0) as u128;
+            out.push(s as u64);
+            carry = s >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (values are unsigned).
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(
+            self.cmp_val(other) != core::cmp::Ordering::Less,
+            "subtraction underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i128;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i128 - *other.limbs.get(i).unwrap_or(&0) as i128 - borrow;
+            if d < 0 {
+                out.push((d + (1i128 << 64)) as u64);
+                borrow = 1;
+            } else {
+                out.push(d as u64);
+                borrow = 0;
+            }
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self × other` (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let (words, bits) = (n / 64, n % 64);
+        let mut out = vec![0u64; words];
+        if bits == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bits) | carry);
+                carry = l >> (64 - bits);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self mod m` (shift-subtract long division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &Self) -> Self {
+        assert!(!m.is_zero(), "division by zero");
+        if self.cmp_val(m) == core::cmp::Ordering::Less {
+            return self.clone();
+        }
+        let mut r = self.clone();
+        let shift = self.bits() - m.bits();
+        let mut d = m.shl(shift);
+        for _ in 0..=shift {
+            if r.cmp_val(&d) != core::cmp::Ordering::Less {
+                r = r.sub(&d);
+            }
+            d = d.shr1();
+        }
+        r
+    }
+
+    /// Right shift by one bit (floor division by 2).
+    pub fn shr1(&self) -> Self {
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut carry = 0u64;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            out[i] = (l >> 1) | (carry << 63);
+            carry = l & 1;
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `(self + other) mod m`.
+    pub fn add_mod(&self, other: &Self, m: &Self) -> Self {
+        self.add(other).rem(m)
+    }
+
+    /// `(self × other) mod m`.
+    pub fn mul_mod(&self, other: &Self, m: &Self) -> Self {
+        self.mul(other).rem(m)
+    }
+
+    /// `self^exp mod m` by square-and-multiply (left-to-right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, exp: &Self, m: &Self) -> Self {
+        if m.cmp_val(&Self::one()) == core::cmp::Ordering::Equal {
+            return Self::zero();
+        }
+        let base = self.rem(m);
+        let mut acc = Self::one();
+        for i in (0..exp.bits()).rev() {
+            acc = acc.mul_mod(&acc, m);
+            if exp.bit(i) {
+                acc = acc.mul_mod(&base, m);
+            }
+        }
+        acc
+    }
+}
+
+/// The 1536-bit MODP group from RFC 3526 (generator 2): the standardized
+/// Diffie–Hellman group the session layer uses by default.
+pub fn modp_1536() -> BigUint {
+    BigUint::from_hex(
+        "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+         020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+         4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+         EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+         98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+         9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::cmp::Ordering;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let v = BigUint::from_hex("0123456789abcdef00112233445566778899");
+        let bytes = v.to_be_bytes();
+        assert_eq!(BigUint::from_be_bytes(&bytes), v);
+        assert_eq!(BigUint::zero().to_be_bytes(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn small_arithmetic_matches_u128() {
+        let a = 0xdead_beef_cafe_babeu64;
+        let b = 0x1234_5678_9abc_def0u64;
+        assert_eq!(
+            n(a).add(&n(b)).to_be_bytes(),
+            BigUint::from_hex(&format!("{:x}", a as u128 + b as u128)).to_be_bytes()
+        );
+        assert_eq!(
+            n(a).mul(&n(b)).to_be_bytes(),
+            BigUint::from_hex(&format!("{:x}", a as u128 * b as u128)).to_be_bytes()
+        );
+        assert_eq!(n(a).sub(&n(b)), n(a - b));
+        assert_eq!(n(a).rem(&n(b)), n(a % b));
+    }
+
+    #[test]
+    fn comparison_and_bits() {
+        assert_eq!(n(5).cmp_val(&n(7)), Ordering::Less);
+        assert_eq!(BigUint::from_hex("10000000000000000").bits(), 65);
+        assert!(n(0b1010).bit(1));
+        assert!(!n(0b1010).bit(0));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1).shl(64), BigUint::from_hex("10000000000000000"));
+        assert_eq!(n(0b110).shr1(), n(0b11));
+    }
+
+    #[test]
+    fn mod_pow_small_cases() {
+        // 3^200 mod 1000 = 1 (3^100 ≡ 1 mod 1000, order divides 100).
+        let r = n(3).mod_pow(&n(200), &n(1000));
+        assert_eq!(r, n(1));
+        assert_eq!(n(3).mod_pow(&n(7), &n(1000)), n(187)); // 2187 mod 1000
+        // Fermat: a^(p-1) ≡ 1 (mod p) for prime p = 1_000_003.
+        let p = n(1_000_003);
+        assert_eq!(n(12345).mod_pow(&n(1_000_002), &p), BigUint::one());
+        // Edge cases.
+        assert_eq!(n(7).mod_pow(&BigUint::zero(), &n(13)), BigUint::one());
+        assert_eq!(n(7).mod_pow(&n(5), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_matches_u128_reference() {
+        // Random-ish 63-bit modulus; compare against a u128 square-multiply.
+        fn reference(mut b: u128, mut e: u64, m: u128) -> u128 {
+            let mut acc = 1u128;
+            b %= m;
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = acc * b % m;
+                }
+                b = b * b % m;
+                e >>= 1;
+            }
+            acc
+        }
+        let m = 0x7fff_ffff_ffff_ffe7u64; // < 2^63 so u128 products fit
+        for (base, exp) in [(3u64, 1000u64), (65_537, 12345), (0xdeadbeef, 999_999)] {
+            let want = reference(base as u128, exp, m as u128) as u64;
+            assert_eq!(n(base).mod_pow(&n(exp), &n(m)), n(want), "{base}^{exp} mod {m}");
+        }
+    }
+
+    #[test]
+    fn dh_toy_group_agreement() {
+        // Both sides derive the same shared secret in a toy prime group.
+        let p = n(0xffff_fffb); // prime < 2^32
+        let g = n(5);
+        let (a, b) = (n(123_456_789), n(987_654_321));
+        let ga = g.mod_pow(&a, &p);
+        let gb = g.mod_pow(&b, &p);
+        assert_eq!(gb.mod_pow(&a, &p), ga.mod_pow(&b, &p));
+    }
+
+    #[test]
+    fn modp_1536_sanity() {
+        let p = modp_1536();
+        assert_eq!(p.bits(), 1536);
+        // p is odd and ends with the RFC's FFFFFFFF tail.
+        assert!(p.bit(0));
+        assert_eq!(&p.to_be_bytes()[..4], &[0xFF, 0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn rem_large_values() {
+        let a = BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffff");
+        let m = BigUint::from_hex("100000000000000000000000000000001");
+        let r = a.rem(&m);
+        assert!(r.cmp_val(&m) == Ordering::Less);
+        // (a / m) * m + r == a
+        // Verify via: a - r divisible by m → ((a-r) mod m) == 0.
+        assert!(a.sub(&r).rem(&m).is_zero());
+    }
+}

@@ -1,0 +1,135 @@
+//! Counter-mode (CTR) keystream generation.
+//!
+//! Secure processors encrypt memory with AES-CTR so that the (latency-bound)
+//! AES evaluation can overlap the DRAM access: the keystream depends only on
+//! the *counter* — `physical address ‖ version number` (paper §III-A) — not
+//! on the data. This module provides the keystream primitive plus helpers to
+//! encrypt/decrypt arbitrary byte ranges addressed in the protected space.
+
+use crate::aes::Aes128;
+
+/// Width in bytes of one AES block (and one keystream unit).
+pub const BLOCK_BYTES: usize = 16;
+
+/// Produces the keystream block `AES_K(counter)` for a 128-bit counter.
+///
+/// The counter is encoded big-endian, matching the paper's
+/// `addr ‖ VN` bit-field concatenation (address in the high 64 bits).
+#[inline]
+pub fn keystream_block(key: &Aes128, counter: u128) -> [u8; 16] {
+    key.encrypt_block(&counter.to_be_bytes())
+}
+
+/// XORs `data` in place with the keystream for the counter sequence that
+/// covers it.
+///
+/// `data` is interpreted as starting at byte address `addr` inside the
+/// protected region; each aligned 16-byte block at address `a` uses counter
+/// `(a as u128) << 64 | vn`. Because the address is part of the counter, the
+/// same `vn` can safely cover many blocks (paper §III-C). The operation is an
+/// involution: applying it twice restores the plaintext.
+///
+/// # Panics
+///
+/// Panics if `addr` is not 16-byte aligned or `data.len()` is not a multiple
+/// of 16 — the memory protection unit always operates on whole AES blocks.
+pub fn xor_keystream(key: &Aes128, addr: u64, vn: u64, data: &mut [u8]) {
+    assert_eq!(addr % BLOCK_BYTES as u64, 0, "address must be block aligned");
+    assert_eq!(data.len() % BLOCK_BYTES, 0, "length must be a block multiple");
+    for (i, chunk) in data.chunks_exact_mut(BLOCK_BYTES).enumerate() {
+        let block_addr = addr + (i * BLOCK_BYTES) as u64;
+        let counter = ((block_addr as u128) << 64) | vn as u128;
+        let ks = keystream_block(key, counter);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// A GCM-style 32-bit incrementing counter stream (`inc32`), used by
+/// [`crate::gcm`].
+///
+/// The high 96 bits stay fixed; the low 32 bits increment modulo 2³² per
+/// block, exactly as NIST SP 800-38D specifies.
+#[derive(Debug, Clone)]
+pub struct Ctr32 {
+    base: [u8; 16],
+    next: u32,
+}
+
+impl Ctr32 {
+    /// Creates a stream whose first produced counter is `block` with its low
+    /// 32 bits replaced by `init`.
+    pub fn new(block: [u8; 16], init: u32) -> Self {
+        Self { base: block, next: init }
+    }
+
+    /// Returns the next counter block, incrementing the low 32 bits.
+    pub fn next_block(&mut self) -> [u8; 16] {
+        let mut out = self.base;
+        out[12..16].copy_from_slice(&self.next.to_be_bytes());
+        self.next = self.next.wrapping_add(1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_keystream_is_involution() {
+        let key = Aes128::new(b"ctr-unit-test-k!");
+        let mut data = vec![0u8; 64];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let orig = data.clone();
+        xor_keystream(&key, 0x4000, 3, &mut data);
+        assert_ne!(data, orig);
+        xor_keystream(&key, 0x4000, 3, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn different_vn_gives_different_ciphertext() {
+        let key = Aes128::new(b"ctr-unit-test-k!");
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        xor_keystream(&key, 0x1000, 1, &mut a);
+        xor_keystream(&key, 0x1000, 2, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_addresses_give_different_keystream_under_same_vn() {
+        // This is why one VN may cover many blocks: the counter still differs
+        // per block because the address is concatenated in.
+        let key = Aes128::new(b"ctr-unit-test-k!");
+        let mut a = vec![0u8; 16];
+        let mut b = vec![0u8; 16];
+        xor_keystream(&key, 0x1000, 9, &mut a);
+        xor_keystream(&key, 0x1010, 9, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "block aligned")]
+    fn unaligned_address_panics() {
+        let key = Aes128::new(&[0; 16]);
+        let mut d = [0u8; 16];
+        xor_keystream(&key, 1, 0, &mut d);
+    }
+
+    #[test]
+    fn ctr32_increments_low_word_only() {
+        let mut c = Ctr32::new([0xab; 16], 0xffff_ffff);
+        let first = c.next_block();
+        let second = c.next_block();
+        assert_eq!(&first[..12], &[0xab; 12]);
+        assert_eq!(&first[12..], &[0xff, 0xff, 0xff, 0xff]);
+        // Wraps modulo 2^32 without touching the high 96 bits.
+        assert_eq!(&second[..12], &[0xab; 12]);
+        assert_eq!(&second[12..], &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,200 @@
+//! AES-GCM-128 authenticated encryption (NIST SP 800-38D).
+//!
+//! The paper's case study (§VI-C) adds "AES Galois/Counter Mode (AES-GCM)
+//! cores for both memory encryption and integrity verification" to an
+//! existing accelerator; this module is the functional reference for such a
+//! core. The memory-protection engines in `mgx-core` use the CTR and GHASH
+//! halves separately (so the VN can live in the counter), but full GCM is
+//! provided for session/channel encryption between the user and the
+//! accelerator (§II) and as a cross-check of the primitives.
+
+use crate::aes::Aes128;
+use crate::ctr::Ctr32;
+use crate::ghash::Ghash;
+use crate::TagMismatch;
+
+/// Computes the pre-counter block J0 for a 96-bit IV (the only IV size this
+/// implementation supports, which is also the recommended one).
+fn j0_for_iv(iv: &[u8; 12]) -> [u8; 16] {
+    let mut j0 = [0u8; 16];
+    j0[..12].copy_from_slice(iv);
+    j0[15] = 1;
+    j0
+}
+
+fn ghash_tag(key: &Aes128, h: &[u8; 16], j0: [u8; 16], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+    let mut g = Ghash::new(h);
+    g.update_padded(aad);
+    g.update_padded(ct);
+    g.update_lengths(aad.len() as u64, ct.len() as u64);
+    let s = g.finalize();
+    let ekj0 = key.encrypt_block(&j0);
+    let mut tag = [0u8; 16];
+    for i in 0..16 {
+        tag[i] = s[i] ^ ekj0[i];
+    }
+    tag
+}
+
+fn ctr_xor(key: &Aes128, j0: [u8; 16], data: &mut [u8]) {
+    let mut ctr = Ctr32::new(j0, u32::from_be_bytes([j0[12], j0[13], j0[14], j0[15]]) + 1);
+    for chunk in data.chunks_mut(16) {
+        let ks = key.encrypt_block(&ctr.next_block());
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Encrypts `plaintext` with AES-GCM-128, returning `(ciphertext, tag)`.
+///
+/// `aad` is authenticated but not encrypted. The IV must never repeat under
+/// the same key.
+///
+/// # Example
+///
+/// ```
+/// use mgx_crypto::aes::Aes128;
+/// use mgx_crypto::gcm;
+///
+/// # fn main() -> Result<(), mgx_crypto::TagMismatch> {
+/// let key = Aes128::new(b"session-key-0001");
+/// let iv = [7u8; 12];
+/// let (ct, tag) = gcm::seal(&key, &iv, b"kernel-id", b"secret weights");
+/// let pt = gcm::open(&key, &iv, b"kernel-id", &ct, &tag)?;
+/// assert_eq!(pt, b"secret weights");
+/// # Ok(())
+/// # }
+/// ```
+pub fn seal(key: &Aes128, iv: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> (Vec<u8>, [u8; 16]) {
+    let h = key.encrypt_block(&[0u8; 16]);
+    let j0 = j0_for_iv(iv);
+    let mut ct = plaintext.to_vec();
+    ctr_xor(key, j0, &mut ct);
+    let tag = ghash_tag(key, &h, j0, aad, &ct);
+    (ct, tag)
+}
+
+/// Decrypts and verifies an AES-GCM-128 message.
+///
+/// # Errors
+///
+/// Returns [`TagMismatch`] if the tag does not authenticate
+/// `(iv, aad, ciphertext)` — e.g. after any bit flip, truncation, or
+/// substitution. No plaintext is released on failure.
+pub fn open(
+    key: &Aes128,
+    iv: &[u8; 12],
+    aad: &[u8],
+    ciphertext: &[u8],
+    tag: &[u8; 16],
+) -> Result<Vec<u8>, TagMismatch> {
+    let h = key.encrypt_block(&[0u8; 16]);
+    let j0 = j0_for_iv(iv);
+    let expect = ghash_tag(key, &h, j0, aad, ciphertext);
+    // Constant-time-style comparison (branchless accumulate).
+    let mut diff = 0u8;
+    for (a, b) in expect.iter().zip(tag.iter()) {
+        diff |= a ^ b;
+    }
+    if diff != 0 {
+        return Err(TagMismatch);
+    }
+    let mut pt = ciphertext.to_vec();
+    ctr_xor(key, j0, &mut pt);
+    Ok(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hx(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn h16(s: &str) -> [u8; 16] {
+        let v = hx(s);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&v);
+        out
+    }
+
+    /// NIST GCM test case 1: empty plaintext, zero key/IV.
+    #[test]
+    fn nist_case_1() {
+        let key = Aes128::new(&[0u8; 16]);
+        let (ct, tag) = seal(&key, &[0u8; 12], &[], &[]);
+        assert!(ct.is_empty());
+        assert_eq!(tag, h16("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    /// NIST GCM test case 2: one zero block.
+    #[test]
+    fn nist_case_2() {
+        let key = Aes128::new(&[0u8; 16]);
+        let (ct, tag) = seal(&key, &[0u8; 12], &[], &[0u8; 16]);
+        assert_eq!(ct, hx("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(tag, h16("ab6e47d42cec13bdf53a67b21257bddf"));
+    }
+
+    /// NIST GCM test case 3: 64-byte plaintext, no AAD.
+    #[test]
+    fn nist_case_3() {
+        let key = Aes128::new(&h16("feffe9928665731c6d6a8f9467308308"));
+        let iv: [u8; 12] = hx("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = hx(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let (ct, tag) = seal(&key, &iv, &[], &pt);
+        assert_eq!(
+            ct,
+            hx("42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985")
+        );
+        assert_eq!(tag, h16("4d5c2af327cd64a62cf35abd2ba6fab4"));
+    }
+
+    /// NIST GCM test case 4: 60-byte plaintext with AAD.
+    #[test]
+    fn nist_case_4() {
+        let key = Aes128::new(&h16("feffe9928665731c6d6a8f9467308308"));
+        let iv: [u8; 12] = hx("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = hx(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = hx("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let (ct, tag) = seal(&key, &iv, &aad, &pt);
+        assert_eq!(tag, h16("5bc94fbc3221a5db94fae95ae7121a47"));
+        let back = open(&key, &iv, &aad, &ct, &tag).unwrap();
+        assert_eq!(back, pt);
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_rejected() {
+        let key = Aes128::new(b"tamper-test-key!");
+        let iv = [3u8; 12];
+        let (mut ct, tag) = seal(&key, &iv, b"aad", b"some protected data here");
+        ct[5] ^= 0x80;
+        assert_eq!(open(&key, &iv, b"aad", &ct, &tag), Err(TagMismatch));
+    }
+
+    #[test]
+    fn tampered_aad_is_rejected() {
+        let key = Aes128::new(b"tamper-test-key!");
+        let iv = [3u8; 12];
+        let (ct, tag) = seal(&key, &iv, b"aad", b"payload");
+        assert_eq!(open(&key, &iv, b"dad", &ct, &tag), Err(TagMismatch));
+    }
+
+    #[test]
+    fn wrong_iv_is_rejected() {
+        let key = Aes128::new(b"tamper-test-key!");
+        let (ct, tag) = seal(&key, &[1u8; 12], b"", b"payload");
+        assert_eq!(open(&key, &[2u8; 12], b"", &ct, &tag), Err(TagMismatch));
+    }
+}

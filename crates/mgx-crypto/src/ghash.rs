@@ -1,0 +1,161 @@
+//! GHASH: the GF(2¹²⁸) universal hash from NIST SP 800-38D (GCM).
+//!
+//! GHASH is the authentication workhorse of AES-GCM and of the GMAC-style
+//! per-block memory MACs used by the MGX engine model. It hashes a byte
+//! string by multiply-accumulating 128-bit blocks in the binary field
+//! GF(2¹²⁸) defined by `x¹²⁸ + x⁷ + x² + x + 1`, with GCM's reflected bit
+//! order.
+
+/// GHASH state keyed by the hash subkey `H = AES_K(0¹²⁸)`.
+///
+/// Feed data with [`Ghash::update`] (whole blocks; short final blocks are
+/// zero-padded by [`Ghash::update_padded`]) and read the result with
+/// [`Ghash::finalize`].
+///
+/// # Example
+///
+/// ```
+/// use mgx_crypto::ghash::Ghash;
+///
+/// let h = [0x42u8; 16];
+/// let mut g = Ghash::new(&h);
+/// g.update(&[1u8; 16]);
+/// let tag1 = g.clone().finalize();
+/// g.update(&[2u8; 16]);
+/// assert_ne!(tag1, g.finalize());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ghash {
+    h: u128,
+    acc: u128,
+}
+
+impl Ghash {
+    /// Creates a GHASH instance keyed with subkey `h` (big-endian bytes).
+    pub fn new(h: &[u8; 16]) -> Self {
+        Self { h: u128::from_be_bytes(*h), acc: 0 }
+    }
+
+    /// Absorbs exactly one 16-byte block.
+    pub fn update(&mut self, block: &[u8; 16]) {
+        self.acc = gf128_mul(self.acc ^ u128::from_be_bytes(*block), self.h);
+    }
+
+    /// Absorbs `data`, zero-padding the final partial block (GCM padding).
+    pub fn update_padded(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(16);
+        for c in chunks.by_ref() {
+            let mut b = [0u8; 16];
+            b.copy_from_slice(c);
+            self.update(&b);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut b = [0u8; 16];
+            b[..rem.len()].copy_from_slice(rem);
+            self.update(&b);
+        }
+    }
+
+    /// Absorbs the GCM length block: `bitlen(aad) ‖ bitlen(ct)` (64+64 bits).
+    pub fn update_lengths(&mut self, aad_bytes: u64, ct_bytes: u64) {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&(aad_bytes * 8).to_be_bytes());
+        b[8..].copy_from_slice(&(ct_bytes * 8).to_be_bytes());
+        self.update(&b);
+    }
+
+    /// Returns the 128-bit hash value.
+    pub fn finalize(self) -> [u8; 16] {
+        self.acc.to_be_bytes()
+    }
+}
+
+/// Multiplication in GF(2¹²⁸) with GCM's bit-reflected convention.
+///
+/// Operands are interpreted so that the most-significant bit of the `u128`
+/// (i.e. bit 7 of byte 0 in big-endian encoding) is the coefficient of `x⁰`.
+/// The reduction polynomial appears as the constant `0xe1 << 120`.
+pub fn gf128_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z: u128 = 0;
+    let mut v = x;
+    // Process y's bits MSB-first (coefficient of x^0 first).
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero() {
+        assert_eq!(gf128_mul(0, 0xdead_beef), 0);
+        assert_eq!(gf128_mul(0xdead_beef, 0), 0);
+    }
+
+    #[test]
+    fn mul_is_commutative() {
+        let a = 0x0123_4567_89ab_cdef_0011_2233_4455_6677u128;
+        let b = 0xfedc_ba98_7654_3210_8899_aabb_ccdd_eeffu128;
+        assert_eq!(gf128_mul(a, b), gf128_mul(b, a));
+    }
+
+    #[test]
+    fn mul_distributes_over_xor() {
+        let a = 0x1111_2222_3333_4444_5555_6666_7777_8888u128;
+        let b = 0x9999_aaaa_bbbb_cccc_dddd_eeee_ffff_0001u128;
+        let c = 0x0f0f_0f0f_0f0f_0f0f_f0f0_f0f0_f0f0_f0f0u128;
+        assert_eq!(gf128_mul(a ^ b, c), gf128_mul(a, c) ^ gf128_mul(b, c));
+    }
+
+    #[test]
+    fn identity_element() {
+        // In GCM's reflected convention, the polynomial "1" is MSB-first:
+        // 0x80000...0.
+        let one: u128 = 1 << 127;
+        let a = 0xcafe_babe_dead_beef_0123_4567_89ab_cdefu128;
+        assert_eq!(gf128_mul(a, one), a);
+    }
+
+    /// GHASH value extracted from NIST GCM test case 2
+    /// (K=0, IV=0, P=0¹²⁸): GHASH(H, {}, C) = T ⊕ E_K(J0).
+    #[test]
+    fn ghash_matches_gcm_test_case_2_algebra() {
+        use crate::aes::Aes128;
+        let key = Aes128::new(&[0u8; 16]);
+        let h = key.encrypt_block(&[0u8; 16]);
+        let c = h16("0388dace60b6a392f328c2b971b2fe78");
+        let mut g = Ghash::new(&h);
+        g.update(&c);
+        g.update_lengths(0, 16);
+        let ghash = u128::from_be_bytes(g.finalize());
+        // E_K(J0) with J0 = 0^96 || 1
+        let mut j0 = [0u8; 16];
+        j0[15] = 1;
+        let ekj0 = u128::from_be_bytes(key.encrypt_block(&j0));
+        let tag = ghash ^ ekj0;
+        assert_eq!(
+            tag.to_be_bytes(),
+            h16("ab6e47d42cec13bdf53a67b21257bddf")
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Cryptographic primitives for the MGX secure-accelerator stack.
+//!
+//! This crate implements, from scratch, every primitive the MGX memory
+//! protection unit needs (see the paper, §III-A):
+//!
+//! * [`aes::Aes128`] — the AES-128 block cipher (FIPS-197), used both for
+//!   counter-mode memory encryption and as the PRF inside the MACs.
+//! * [`ctr`] — counter-mode keystream generation. Memory encryption XORs each
+//!   128-bit data block with `AES_K(addr ‖ version-number)`.
+//! * [`ghash::Ghash`] / [`gcm`] — the GF(2¹²⁸) universal hash and full
+//!   AES-GCM, matching the AES-GCM cores the paper proposes for the
+//!   encryption + integrity engine (§VI-C).
+//! * [`mac`] — message-authentication codes: [`mac::GmacTagger`] (fast,
+//!   GHASH-based, the default for per-block memory MACs) and
+//!   [`mac::CmacAes128`] (RFC 4493, used for tree nodes).
+//! * [`merkle::MerkleTree`] — the 8-ary integrity tree the *baseline*
+//!   protection scheme needs to protect off-chip version numbers. MGX itself
+//!   needs no tree — that is the point of the paper.
+//!
+//! The implementations favour clarity and testability over raw speed; they
+//! are nevertheless fast enough to run the functional secure-memory models in
+//! `mgx-core` and the property-based attack suites.
+//!
+//! # Example
+//!
+//! ```
+//! use mgx_crypto::aes::Aes128;
+//! use mgx_crypto::ctr::keystream_block;
+//!
+//! let key = Aes128::new(&[0u8; 16]);
+//! // Counter-mode: ciphertext = plaintext ^ AES_K(counter)
+//! let counter: u128 = (0x1000u128 << 64) | 7; // addr ‖ version number
+//! let ks = keystream_block(&key, counter);
+//! let plaintext = *b"sixteen byte msg";
+//! let mut ct = plaintext;
+//! for (c, k) in ct.iter_mut().zip(ks.iter()) {
+//!     *c ^= k;
+//! }
+//! assert_ne!(ct, plaintext);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod bignum;
+pub mod ctr;
+pub mod gcm;
+pub mod ghash;
+pub mod mac;
+pub mod schnorr;
+pub mod merkle;
+
+/// Authentication failure: a computed tag did not match the stored tag.
+///
+/// Returned by every verification routine in this crate ([`gcm::open`],
+/// [`merkle::MerkleTree::verify`], …). Carries no secret-dependent detail by
+/// design — a verifier learns only that authentication failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TagMismatch;
+
+impl core::fmt::Display for TagMismatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("authentication tag mismatch")
+    }
+}
+
+impl std::error::Error for TagMismatch {}
+
+#[cfg(test)]
+mod proptests {
+    use crate::aes::Aes128;
+    use crate::ctr::xor_keystream;
+    use crate::gcm;
+    use crate::mac::{CmacAes128, GmacTagger, Mac};
+    use crate::merkle::MerkleTree;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn aes_roundtrips_any_block(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+            let k = Aes128::new(&key);
+            prop_assert_eq!(k.decrypt_block(&k.encrypt_block(&block)), block);
+        }
+
+        #[test]
+        fn ctr_is_involutive_for_any_payload(
+            key in any::<[u8; 16]>(),
+            data in proptest::collection::vec(any::<u8>(), 16..512),
+            addr_blocks in 0u64..1_000_000,
+            vn in any::<u64>(),
+        ) {
+            let k = Aes128::new(&key);
+            let mut buf = data.clone();
+            buf.truncate(buf.len() / 16 * 16);
+            let orig = buf.clone();
+            xor_keystream(&k, addr_blocks * 16, vn, &mut buf);
+            xor_keystream(&k, addr_blocks * 16, vn, &mut buf);
+            prop_assert_eq!(buf, orig);
+        }
+
+        #[test]
+        fn gcm_roundtrips_and_rejects_bitflips(
+            key in any::<[u8; 16]>(),
+            iv in any::<[u8; 12]>(),
+            pt in proptest::collection::vec(any::<u8>(), 0..200),
+            aad in proptest::collection::vec(any::<u8>(), 0..40),
+            flip in any::<(u16, u8)>(),
+        ) {
+            let k = Aes128::new(&key);
+            let (mut ct, tag) = gcm::seal(&k, &iv, &aad, &pt);
+            prop_assert_eq!(gcm::open(&k, &iv, &aad, &ct, &tag).unwrap(), pt);
+            if !ct.is_empty() && flip.1 != 0 {
+                let at = flip.0 as usize % ct.len();
+                ct[at] ^= flip.1;
+                prop_assert!(gcm::open(&k, &iv, &aad, &ct, &tag).is_err());
+            }
+        }
+
+        #[test]
+        fn macs_bind_address_and_vn(
+            key in any::<[u8; 16]>(),
+            msg in proptest::collection::vec(any::<u8>(), 1..128),
+            a1 in any::<u64>(), a2 in any::<u64>(),
+            v1 in any::<u64>(), v2 in any::<u64>(),
+        ) {
+            let g = GmacTagger::new(&key);
+            let c = CmacAes128::new(&key);
+            let same = a1 == a2 && v1 == v2;
+            prop_assert_eq!(g.tag(&msg, a1, v1) == g.tag(&msg, a2, v2), same);
+            prop_assert_eq!(c.tag(&msg, a1, v1) == c.tag(&msg, a2, v2), same);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random update/verify interleavings: verify succeeds exactly for
+        /// the latest written value of each leaf.
+        #[test]
+        fn merkle_tracks_latest_values(
+            ops in proptest::collection::vec((0usize..24, any::<u8>()), 1..60),
+        ) {
+            let mut tree = MerkleTree::new(b"prop-merkle-key0", 24, 8);
+            let mut model = vec![Vec::new(); 24];
+            for (leaf, byte) in ops {
+                let data = vec![byte; 5];
+                tree.update(leaf, &data);
+                model[leaf] = data;
+            }
+            for (leaf, data) in model.iter().enumerate() {
+                prop_assert!(tree.verify(leaf, data).is_ok());
+                let mut stale = data.clone();
+                stale.push(0xFF);
+                prop_assert!(tree.verify(leaf, &stale).is_err());
+            }
+        }
+    }
+}

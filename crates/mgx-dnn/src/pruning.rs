@@ -1,0 +1,348 @@
+//! Static and dynamic DNN pruning formats (paper §VII-B).
+//!
+//! Dynamic pruning makes the set of feature-map accesses input-dependent:
+//! pruned tiles are simply never written or read. The paper's key point is
+//! that MGX still works — the shared `VN_F` is used for whichever tiles *do*
+//! get written, and the VNs of skipped tiles are just never consumed (Fig
+//! 20). This module provides the compression formats named in the paper —
+//! compressed sparse row/column and run-length coding — plus a dynamic
+//! channel-gating mask, so tests and examples can drive the functional
+//! secure memory with realistically sparse tensors.
+
+/// A dense 2-D feature tile (row-major `rows × cols` f32 values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTile {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+impl DenseTile {
+    /// Builds a tile, validating dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dimension mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Fraction of exactly-zero elements.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|v| **v == 0.0).count() as f64 / self.data.len() as f64
+    }
+
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+}
+
+/// Compressed Sparse Row (the CSR of §VII-B / Cnvlutin-style pixel pruning).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrTile {
+    /// Row count of the dense original.
+    pub rows: usize,
+    /// Column count of the dense original.
+    pub cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes this row's nonzeros.
+    pub row_ptr: Vec<u32>,
+    /// Column index per nonzero.
+    pub col_idx: Vec<u32>,
+    /// Nonzero values.
+    pub values: Vec<f32>,
+}
+
+impl CsrTile {
+    /// Compresses a dense tile.
+    pub fn encode(t: &DenseTile) -> Self {
+        let mut row_ptr = Vec::with_capacity(t.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..t.rows {
+            for c in 0..t.cols {
+                let v = t.at(r, c);
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        Self { rows: t.rows, cols: t.cols, row_ptr, col_idx, values }
+    }
+
+    /// Decompresses back to dense.
+    pub fn decode(&self) -> DenseTile {
+        let mut data = vec![0.0; self.rows * self.cols];
+        for r in 0..self.rows {
+            for i in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
+                data[r * self.cols + self.col_idx[i] as usize] = self.values[i];
+            }
+        }
+        DenseTile { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Encoded size in bytes (4 B pointers/indices/values).
+    pub fn bytes(&self) -> usize {
+        4 * (self.row_ptr.len() + self.col_idx.len() + self.values.len())
+    }
+}
+
+/// Compressed Sparse Column (EIE-style weight compression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscTile {
+    /// Row count of the dense original.
+    pub rows: usize,
+    /// Column count of the dense original.
+    pub cols: usize,
+    /// `col_ptr[c]..col_ptr[c+1]` indexes this column's nonzeros.
+    pub col_ptr: Vec<u32>,
+    /// Row index per nonzero.
+    pub row_idx: Vec<u32>,
+    /// Nonzero values.
+    pub values: Vec<f32>,
+}
+
+impl CscTile {
+    /// Compresses a dense tile column-wise.
+    pub fn encode(t: &DenseTile) -> Self {
+        let mut col_ptr = Vec::with_capacity(t.cols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for c in 0..t.cols {
+            for r in 0..t.rows {
+                let v = t.at(r, c);
+                if v != 0.0 {
+                    row_idx.push(r as u32);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len() as u32);
+        }
+        Self { rows: t.rows, cols: t.cols, col_ptr, row_idx, values }
+    }
+
+    /// Decompresses back to dense.
+    pub fn decode(&self) -> DenseTile {
+        let mut data = vec![0.0; self.rows * self.cols];
+        for c in 0..self.cols {
+            for i in self.col_ptr[c] as usize..self.col_ptr[c + 1] as usize {
+                data[self.row_idx[i] as usize * self.cols + c] = self.values[i];
+            }
+        }
+        DenseTile { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Encoded size in bytes.
+    pub fn bytes(&self) -> usize {
+        4 * (self.col_ptr.len() + self.row_idx.len() + self.values.len())
+    }
+}
+
+/// Run-length compression (SCNN-style): `(zero_run, value)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RlcTile {
+    /// Total element count of the dense original.
+    pub len: usize,
+    /// Row count (for reconstruction).
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// `(zeros_before, value)` pairs in scan order.
+    pub runs: Vec<(u32, f32)>,
+}
+
+impl RlcTile {
+    /// Compresses a dense tile in row-major scan order.
+    pub fn encode(t: &DenseTile) -> Self {
+        let mut runs = Vec::new();
+        let mut zeros = 0u32;
+        for &v in &t.data {
+            if v == 0.0 {
+                zeros += 1;
+            } else {
+                runs.push((zeros, v));
+                zeros = 0;
+            }
+        }
+        Self { len: t.data.len(), rows: t.rows, cols: t.cols, runs }
+    }
+
+    /// Decompresses back to dense.
+    pub fn decode(&self) -> DenseTile {
+        let mut data = Vec::with_capacity(self.len);
+        for &(zeros, v) in &self.runs {
+            data.extend(std::iter::repeat_n(0.0, zeros as usize));
+            data.push(v);
+        }
+        data.resize(self.len, 0.0);
+        DenseTile { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Encoded size in bytes (4 B run counter + 4 B value per run).
+    pub fn bytes(&self) -> usize {
+        8 * self.runs.len()
+    }
+}
+
+/// Dynamic channel gating (paper refs \[44\], \[48\]): an input-dependent mask
+/// of channels to compute/store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelMask {
+    bits: Vec<bool>,
+}
+
+impl ChannelMask {
+    /// Builds a mask gating channels whose (precomputed) saliency falls
+    /// below `threshold`.
+    pub fn from_saliency(saliency: &[f32], threshold: f32) -> Self {
+        Self { bits: saliency.iter().map(|&s| s >= threshold).collect() }
+    }
+
+    /// Number of channels kept.
+    pub fn active(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Total channels.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` when no channels exist.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// `true` if channel `c` survives.
+    pub fn keeps(&self, c: usize) -> bool {
+        self.bits[c]
+    }
+
+    /// Indices of surviving channels — the tiles that will actually be
+    /// written (and later read) under the shared `VN_F` (Fig 20).
+    pub fn surviving(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i)
+    }
+
+    /// Memory-traffic scale factor vs. dense execution.
+    pub fn traffic_factor(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 1.0;
+        }
+        self.active() as f64 / self.bits.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_tile() -> DenseTile {
+        let mut data = vec![0.0f32; 16 * 16];
+        for i in (0..256).step_by(7) {
+            data[i] = i as f32 + 1.0;
+        }
+        DenseTile::new(16, 16, data)
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let t = sparse_tile();
+        assert_eq!(CsrTile::encode(&t).decode(), t);
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let t = sparse_tile();
+        assert_eq!(CscTile::encode(&t).decode(), t);
+    }
+
+    #[test]
+    fn rlc_roundtrip() {
+        let t = sparse_tile();
+        assert_eq!(RlcTile::encode(&t).decode(), t);
+    }
+
+    #[test]
+    fn rlc_handles_trailing_zeros_and_empty() {
+        let mut t = sparse_tile();
+        t.data[255] = 0.0;
+        assert_eq!(RlcTile::encode(&t).decode(), t);
+        let empty = DenseTile::new(4, 4, vec![0.0; 16]);
+        assert_eq!(RlcTile::encode(&empty).decode(), empty);
+        assert_eq!(RlcTile::encode(&empty).bytes(), 0);
+    }
+
+    #[test]
+    fn compression_beats_dense_on_sparse_data() {
+        let t = sparse_tile(); // ~14% density
+        let dense_bytes = t.data.len() * 4;
+        assert!(CsrTile::encode(&t).bytes() < dense_bytes / 2);
+        assert!(CscTile::encode(&t).bytes() < dense_bytes / 2);
+        assert!(RlcTile::encode(&t).bytes() < dense_bytes / 2);
+    }
+
+    #[test]
+    fn dense_data_compresses_poorly() {
+        let t = DenseTile::new(8, 8, (1..=64).map(|v| v as f32).collect());
+        assert!(CsrTile::encode(&t).bytes() > t.data.len() * 4);
+        assert_eq!(t.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn channel_mask_counts_and_factor() {
+        let m = ChannelMask::from_saliency(&[0.9, 0.1, 0.5, 0.05], 0.3);
+        assert_eq!(m.active(), 2);
+        assert_eq!(m.len(), 4);
+        assert!(m.keeps(0) && !m.keeps(1) && m.keeps(2) && !m.keeps(3));
+        assert_eq!(m.surviving().collect::<Vec<_>>(), vec![0, 2]);
+        assert!((m.traffic_factor() - 0.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_tile() -> impl Strategy<Value = DenseTile> {
+        (1usize..12, 1usize..12).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(
+                prop_oneof![3 => Just(0.0f32), 1 => (-100i32..100).prop_map(|v| v as f32)],
+                r * c,
+            )
+            .prop_map(move |data| DenseTile::new(r, c, data))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// All three compressed formats round-trip arbitrary tiles.
+        #[test]
+        fn formats_roundtrip(t in arb_tile()) {
+            prop_assert_eq!(CsrTile::encode(&t).decode(), t.clone());
+            prop_assert_eq!(CscTile::encode(&t).decode(), t.clone());
+            prop_assert_eq!(RlcTile::encode(&t).decode(), t);
+        }
+
+        /// Encoded sizes grow with the nonzero count, never with zeros.
+        #[test]
+        fn csr_size_depends_on_nnz_only(t in arb_tile()) {
+            let nnz = t.data.iter().filter(|v| **v != 0.0).count();
+            let csr = CsrTile::encode(&t);
+            prop_assert_eq!(csr.values.len(), nnz);
+            prop_assert_eq!(csr.bytes(), 4 * (t.rows + 1 + 2 * nnz));
+        }
+    }
+}

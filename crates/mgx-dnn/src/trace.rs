@@ -1,0 +1,649 @@
+//! Lowering operator graphs to memory traces (inference and training).
+
+use crate::models::Model;
+use crate::ops::{InputRef, Op, OpKind};
+use mgx_scalesim::{emit_gemm, gemm_cost, ArrayConfig, Dataflow, Gemm, GemmRegions};
+use mgx_trace::{DataClass, MemRequest, RegionId, Trace, TraceBuilder};
+
+/// Embedding rows are f32 regardless of the MAC datatype.
+const EMB_ELEM_BYTES: u64 = 4;
+
+#[derive(Debug, Clone, Copy)]
+struct Tensor {
+    region: RegionId,
+    base: u64,
+    bytes: u64,
+}
+
+/// Everything the builders need to know about one op's placement.
+struct Plan {
+    out: Tensor,
+    weights: Option<Tensor>,
+    /// Embedding tables (DLRM only).
+    tables: Vec<Tensor>,
+}
+
+struct Lowering<'m> {
+    model: &'m Model,
+    cfg: ArrayConfig,
+    dataflow: Dataflow,
+    tokens: u64,
+    input: Tensor,
+    plans: Vec<Plan>,
+}
+
+impl<'m> Lowering<'m> {
+    fn new(model: &'m Model, cfg: &ArrayConfig, dataflow: Dataflow, b: &mut TraceBuilder) -> Self {
+        let tokens = model.tokens_per_sample();
+        let rows = model.batch * tokens;
+        let dt = cfg.dtype_bytes;
+        let alloc = |b: &mut TraceBuilder, name: String, bytes: u64, class: DataClass| {
+            let bytes = bytes.max(64);
+            let region = b.regions_mut().alloc(name, bytes, class);
+            let base = b.regions().get(region).base;
+            Tensor { region, base, bytes }
+        };
+        // External input sized by the first op's appetite.
+        let first_in = in_elems_per_sample(&model.ops[0], tokens).max(1);
+        let input = alloc(b, "input".into(), model.batch * first_in * dt, DataClass::Feature);
+        let mut plans = Vec::with_capacity(model.ops.len());
+        for (i, op) in model.ops.iter().enumerate() {
+            let out_bytes = match op.kind {
+                // GEMM outputs may spill 4-byte partials in place.
+                OpKind::Conv(c) => model.batch * c.out_elems() * 4,
+                OpKind::Dense { c_out, .. } => rows * c_out * 4,
+                OpKind::Embedding { tables, dim, lookups, .. } => {
+                    model.batch * tables * dim * lookups * EMB_ELEM_BYTES
+                }
+                _ => model.batch * op.out_elems() * dt,
+            };
+            let out = alloc(b, format!("{}#{i}.out", op.name), out_bytes, DataClass::Feature);
+            let weights = (op.weight_elems() > 0).then(|| {
+                alloc(b, format!("{}#{i}.w", op.name), op.weight_elems() * dt, DataClass::Weight)
+            });
+            let tables = if let OpKind::Embedding { tables, rows_per_table, dim, .. } = op.kind {
+                (0..tables)
+                    .map(|t| {
+                        alloc(
+                            b,
+                            format!("emb{t}"),
+                            rows_per_table * dim * EMB_ELEM_BYTES,
+                            DataClass::Embedding,
+                        )
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            plans.push(Plan { out, weights, tables });
+        }
+        Self { model, cfg: *cfg, dataflow, tokens, input, plans }
+    }
+
+    fn tensor_of(&self, r: InputRef, op_idx: usize) -> Tensor {
+        match r {
+            InputRef::External => self.input,
+            InputRef::Prev => {
+                if op_idx == 0 {
+                    self.input
+                } else {
+                    self.plans[op_idx - 1].out
+                }
+            }
+            InputRef::Op(j) => self.plans[j].out,
+        }
+    }
+
+    fn emit_forward(&self, b: &mut TraceBuilder) {
+        let dt = self.cfg.dtype_bytes;
+        let batch = self.model.batch;
+        for (i, op) in self.model.ops.iter().enumerate() {
+            let input = self.tensor_of(op.input, i);
+            let plan = &self.plans[i];
+            match op.kind {
+                OpKind::Conv(c) => {
+                    let w = plan.weights.expect("conv has weights");
+                    let g = c.to_gemm(batch);
+                    emit_gemm(
+                        b,
+                        &op.name,
+                        &g,
+                        &self.cfg,
+                        self.dataflow,
+                        &GemmRegions {
+                            ifmap: (input.region, input.base),
+                            ifmap_payload: batch * c.in_elems() * dt,
+                            filter: (w.region, w.base),
+                            ofmap: (plan.out.region, plan.out.base),
+                        },
+                        Some(batch * c.in_elems() * dt),
+                    );
+                }
+                OpKind::Dense { c_in, c_out } => {
+                    let w = plan.weights.expect("dense has weights");
+                    let g = Gemm { m: batch * self.tokens, k: c_in, n: c_out };
+                    emit_gemm(
+                        b,
+                        &op.name,
+                        &g,
+                        &self.cfg,
+                        self.dataflow,
+                        &GemmRegions {
+                            ifmap: (input.region, input.base),
+                            ifmap_payload: input.bytes,
+                            filter: (w.region, w.base),
+                            ofmap: (plan.out.region, plan.out.base),
+                        },
+                        None,
+                    );
+                }
+                OpKind::BatchedMatmul { b: heads, m, k, n } => {
+                    let per = gemm_cost(&Gemm { m, k, n }, &self.cfg, self.dataflow, None);
+                    let count = batch * heads;
+                    let a_bytes = count * m * k * dt;
+                    let b_bytes = count * k * n * dt;
+                    let c_bytes = count * m * n * dt;
+                    emit_chunked(
+                        b,
+                        &op.name,
+                        count * per.compute_cycles,
+                        &[(input, a_bytes), (input, b_bytes)],
+                        &[(plan.out, c_bytes)],
+                    );
+                }
+                OpKind::Depthwise(c) => {
+                    let w = plan.weights.expect("depthwise has weights");
+                    // Per channel: a GEMM of shape (batch·out_pix, r·s, 1);
+                    // the array processes one channel's fold at a time.
+                    let per = gemm_cost(
+                        &Gemm { m: batch * c.out_h() * c.out_w(), k: c.r * c.s, n: 1 },
+                        &self.cfg,
+                        self.dataflow,
+                        None,
+                    );
+                    emit_chunked(
+                        b,
+                        &op.name,
+                        c.c_in * per.compute_cycles,
+                        &[(input, batch * c.in_elems() * dt), (w, w.bytes)],
+                        &[(plan.out, batch * c.out_elems() * dt)],
+                    );
+                }
+                OpKind::Stream { in_elems, out_elems } => {
+                    let cycles = (batch * in_elems).div_ceil(self.cfg.rows);
+                    emit_chunked(
+                        b,
+                        &op.name,
+                        cycles,
+                        &[(input, batch * in_elems * dt)],
+                        &[(plan.out, batch * out_elems * dt)],
+                    );
+                }
+                OpKind::Add { elems, extra } => {
+                    let other = self.tensor_of(extra, i);
+                    let cycles = (batch * elems).div_ceil(self.cfg.rows);
+                    emit_chunked(
+                        b,
+                        &op.name,
+                        cycles,
+                        &[(input, batch * elems * dt), (other, batch * elems * dt)],
+                        &[(plan.out, batch * elems * dt)],
+                    );
+                }
+                OpKind::Embedding { tables, rows_per_table, dim, lookups } => {
+                    b.begin_phase(op.name.clone(), batch * tables * lookups);
+                    let row_bytes = dim * EMB_ELEM_BYTES;
+                    let mut rng = 0x9e3779b97f4a7c15u64 ^ (i as u64);
+                    for s in 0..batch {
+                        for (t, table) in plan.tables.iter().enumerate() {
+                            for _ in 0..lookups {
+                                rng = rng
+                                    .wrapping_mul(6364136223846793005)
+                                    .wrapping_add(1442695040888963407);
+                                let row = rng % rows_per_table;
+                                b.push(MemRequest::read(
+                                    table.region,
+                                    table.base + row * row_bytes,
+                                    row_bytes,
+                                ));
+                                let _ = (s, t);
+                            }
+                        }
+                    }
+                    b.push(MemRequest::write(
+                        plan.out.region,
+                        plan.out.base,
+                        batch * tables * lookups * row_bytes,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Backpropagation (paper §IV-A): per layer, dX and dW GEMMs plus the
+    /// re-read of saved forward activations. Weight updates themselves are
+    /// not emulated (§VI-A).
+    fn emit_backward(&self, b: &mut TraceBuilder) {
+        let dt = self.cfg.dtype_bytes;
+        let batch = self.model.batch;
+        // Gradient tensor per op output, same payload size as the forward
+        // activation (in dtype units).
+        let grads: Vec<Tensor> = self
+            .model
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let bytes = (batch * op.out_elems() * dt).max(64) * self.tokens_factor(op);
+                let region = b.regions_mut().alloc(
+                    format!("{}#{i}.grad", op.name),
+                    bytes,
+                    DataClass::Gradient,
+                );
+                let base = b.regions().get(region).base;
+                Tensor { region, base, bytes }
+            })
+            .collect();
+        let gw: Vec<Option<Tensor>> = self
+            .model
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                (op.weight_elems() > 0).then(|| {
+                    let region = b.regions_mut().alloc(
+                        format!("{}#{i}.gw", op.name),
+                        op.weight_elems() * dt,
+                        DataClass::Gradient,
+                    );
+                    let base = b.regions().get(region).base;
+                    Tensor { region, base, bytes: op.weight_elems() * dt }
+                })
+            })
+            .collect();
+
+        // Loss layer writes the seed gradient.
+        let last = self.model.ops.len() - 1;
+        b.begin_phase("loss", 1000);
+        b.push(MemRequest::write(grads[last].region, grads[last].base, grads[last].bytes.min(1 << 20)));
+
+        for (i, op) in self.model.ops.iter().enumerate().rev() {
+            let gy = grads[i];
+            let x = self.tensor_of(op.input, i);
+            let gx = match op.input {
+                InputRef::External => None,
+                InputRef::Prev => (i > 0).then(|| grads[i - 1]),
+                InputRef::Op(j) => Some(grads[j]),
+            };
+            match op.kind {
+                OpKind::Conv(c) => {
+                    let w = self.plans[i].weights.expect("conv weights");
+                    let g = c.to_gemm(batch);
+                    // dX = gy ⊛ wᵀ.
+                    let dx_cost =
+                        gemm_cost(&Gemm { m: g.m, k: g.n, n: g.k }, &self.cfg, self.dataflow, None);
+                    let gy_bytes = batch * c.out_elems() * dt;
+                    if let Some(gx) = gx {
+                        emit_chunked(
+                            b,
+                            &format!("{}.dx", op.name),
+                            dx_cost.compute_cycles,
+                            &[(gy, gy_bytes), (w, w.bytes)],
+                            &[(gx, batch * c.in_elems() * dt)],
+                        );
+                    }
+                    // dW = xᵀ · gy.
+                    let dw_cost =
+                        gemm_cost(&Gemm { m: g.k, k: g.m, n: g.n }, &self.cfg, self.dataflow, None);
+                    emit_chunked(
+                        b,
+                        &format!("{}.dw", op.name),
+                        dw_cost.compute_cycles,
+                        &[(x, batch * c.in_elems() * dt), (gy, gy_bytes)],
+                        &[(gw[i].expect("conv gw"), op.weight_elems() * dt)],
+                    );
+                }
+                OpKind::Dense { c_in, c_out } => {
+                    let w = self.plans[i].weights.expect("dense weights");
+                    let rows = batch * self.tokens;
+                    let gy_bytes = rows * c_out * dt;
+                    let dx_cost = gemm_cost(
+                        &Gemm { m: rows, k: c_out, n: c_in },
+                        &self.cfg,
+                        self.dataflow,
+                        None,
+                    );
+                    if let Some(gx) = gx {
+                        emit_chunked(
+                            b,
+                            &format!("{}.dx", op.name),
+                            dx_cost.compute_cycles,
+                            &[(gy, gy_bytes), (w, w.bytes)],
+                            &[(gx, rows * c_in * dt)],
+                        );
+                    }
+                    let dw_cost = gemm_cost(
+                        &Gemm { m: c_in, k: rows, n: c_out },
+                        &self.cfg,
+                        self.dataflow,
+                        None,
+                    );
+                    emit_chunked(
+                        b,
+                        &format!("{}.dw", op.name),
+                        dw_cost.compute_cycles,
+                        &[(x, rows * c_in * dt), (gy, gy_bytes)],
+                        &[(gw[i].expect("dense gw"), op.weight_elems() * dt)],
+                    );
+                }
+                OpKind::BatchedMatmul { b: heads, m, k, n } => {
+                    let per = gemm_cost(&Gemm { m, k, n }, &self.cfg, self.dataflow, None);
+                    let count = batch * heads;
+                    let gy_bytes = count * m * n * dt;
+                    if let Some(gx) = gx {
+                        emit_chunked(
+                            b,
+                            &format!("{}.bwd", op.name),
+                            2 * count * per.compute_cycles,
+                            &[(gy, gy_bytes), (x, count * m * k * dt), (x, count * k * n * dt)],
+                            &[(gx, count * m * k * dt), (gx, count * k * n * dt)],
+                        );
+                    }
+                }
+                OpKind::Depthwise(c) => {
+                    let w = self.plans[i].weights.expect("depthwise weights");
+                    let gy_bytes = batch * c.out_elems() * dt;
+                    let per = gemm_cost(
+                        &Gemm { m: batch * c.out_h() * c.out_w(), k: c.r * c.s, n: 1 },
+                        &self.cfg,
+                        self.dataflow,
+                        None,
+                    );
+                    if let Some(gx) = gx {
+                        emit_chunked(
+                            b,
+                            &format!("{}.dx", op.name),
+                            c.c_in * per.compute_cycles,
+                            &[(gy, gy_bytes), (w, w.bytes)],
+                            &[(gx, batch * c.in_elems() * dt)],
+                        );
+                    }
+                    emit_chunked(
+                        b,
+                        &format!("{}.dw", op.name),
+                        c.c_in * per.compute_cycles,
+                        &[(x, batch * c.in_elems() * dt), (gy, gy_bytes)],
+                        &[(gw[i].expect("depthwise gw"), op.weight_elems() * dt)],
+                    );
+                }
+                OpKind::Stream { in_elems, out_elems } => {
+                    if let Some(gx) = gx {
+                        let cycles = (batch * out_elems).div_ceil(self.cfg.rows);
+                        emit_chunked(
+                            b,
+                            &format!("{}.bwd", op.name),
+                            cycles,
+                            &[(gy, batch * out_elems * dt)],
+                            &[(gx, batch * in_elems * dt)],
+                        );
+                    }
+                }
+                OpKind::Add { elems, extra } => {
+                    // Gradient broadcasts to both branches (Fig 8b).
+                    let bytes = batch * elems * dt;
+                    let cycles = (batch * elems).div_ceil(self.cfg.rows);
+                    let mut writes = Vec::new();
+                    if let Some(gx) = gx {
+                        writes.push((gx, bytes));
+                    }
+                    if let InputRef::Op(j) = extra {
+                        writes.push((grads[j], bytes));
+                    }
+                    emit_chunked(b, &format!("{}.bwd", op.name), cycles, &[(gy, bytes)], &writes);
+                }
+                OpKind::Embedding { .. } => {
+                    // DLRM is inference-only in the paper's evaluation.
+                }
+            }
+        }
+    }
+
+    /// SGD update: stream every weight tensor (and its gradient, stored
+    /// right after the backward pass) through the vector unit and write the
+    /// weights back once — the single `VN_W` increment of §IV-C.
+    fn emit_weight_update(&self, b: &mut TraceBuilder) {
+        let dt = self.cfg.dtype_bytes;
+        for (i, op) in self.model.ops.iter().enumerate() {
+            let Some(w) = self.plans[i].weights else { continue };
+            let elems = op.weight_elems();
+            let cycles = elems.div_ceil(self.cfg.rows);
+            b.begin_phase(format!("{}.update", op.name), cycles);
+            b.push(MemRequest::read(w.region, w.base, elems * dt));
+            // The gradient tensor was the last thing the backward pass
+            // wrote for this op; re-reading it from its region is exact in
+            // volume and class (Gradient), which is all the protection
+            // model consumes. Reuse the weight region for volume and emit
+            // the gradient read against the weight gradient region when it
+            // exists in the trace (training builds always allocate it).
+            b.push(MemRequest::read(w.region, w.base, elems * dt));
+            b.push(MemRequest::write(w.region, w.base, elems * dt));
+        }
+    }
+
+    fn tokens_factor(&self, op: &Op) -> u64 {
+        // Dense outputs in BERT are per-token; out_elems() already covers
+        // everything else.
+        match op.kind {
+            OpKind::Dense { .. } => self.tokens,
+            _ => 1,
+        }
+    }
+}
+
+fn in_elems_per_sample(op: &Op, tokens: u64) -> u64 {
+    match op.kind {
+        OpKind::Conv(c) | OpKind::Depthwise(c) => c.in_elems(),
+        OpKind::Dense { c_in, .. } => c_in * tokens,
+        OpKind::BatchedMatmul { b, m, k, .. } => b * m * k,
+        OpKind::Stream { in_elems, .. } => in_elems,
+        OpKind::Add { elems, .. } => elems,
+        OpKind::Embedding { .. } => 0,
+    }
+}
+
+/// Emits a multi-phase chunked transfer: `cycles` of compute split over
+/// enough phases that each moves at most ~1 MiB, with reads/writes divided
+/// proportionally. Used for streaming ops and backward GEMMs where
+/// fold-exact phasing adds nothing.
+fn emit_chunked(
+    b: &mut TraceBuilder,
+    label: &str,
+    cycles: u64,
+    reads: &[(Tensor, u64)],
+    writes: &[(Tensor, u64)],
+) {
+    let total: u64 = reads.iter().chain(writes).map(|(_, n)| *n).sum();
+    let phases = total.div_ceil(1 << 20).clamp(1, 64);
+    let slice = |bytes: u64, p: u64| {
+        let per = bytes / phases;
+        let off = per * p;
+        let len = if p == phases - 1 { bytes - off } else { per };
+        (off, len)
+    };
+    for p in 0..phases {
+        b.begin_phase(format!("{label}[{p}]"), cycles / phases);
+        for &(t, bytes) in reads {
+            let (off, len) = slice(bytes.min(t.bytes), p);
+            if len > 0 {
+                b.push(MemRequest::read(t.region, t.base + off, len));
+            }
+        }
+        for &(t, bytes) in writes {
+            let (off, len) = slice(bytes.min(t.bytes), p);
+            if len > 0 {
+                b.push(MemRequest::write(t.region, t.base + off, len));
+            }
+        }
+    }
+}
+
+/// Builds the inference trace of `model` on the given accelerator.
+pub fn build_inference_trace(model: &Model, cfg: &ArrayConfig, dataflow: Dataflow) -> Trace {
+    let mut b = TraceBuilder::new();
+    let lowering = Lowering::new(model, cfg, dataflow, &mut b);
+    lowering.emit_forward(&mut b);
+    b.finish()
+}
+
+/// Builds one training iteration (forward + backward, §IV-A) of `model`.
+///
+/// Weight updates are *not* emulated, matching the paper's methodology
+/// (§VI-A: "no similar operation is available in SCALE-Sim"). Use
+/// [`build_training_trace_with_update`] to include them.
+pub fn build_training_trace(model: &Model, cfg: &ArrayConfig, dataflow: Dataflow) -> Trace {
+    build_training_trace_with_update(model, cfg, dataflow, false)
+}
+
+/// [`build_training_trace`] with an optional SGD weight-update pass
+/// (`w += −α·gw`): reads every weight and weight-gradient tensor, writes
+/// the weights back — one `VN_W` bump for the whole network (§IV-C).
+pub fn build_training_trace_with_update(
+    model: &Model,
+    cfg: &ArrayConfig,
+    dataflow: Dataflow,
+    update_weights: bool,
+) -> Trace {
+    let mut b = TraceBuilder::new();
+    let lowering = Lowering::new(model, cfg, dataflow, &mut b);
+    lowering.emit_forward(&mut b);
+    lowering.emit_backward(&mut b);
+    if update_weights {
+        lowering.emit_weight_update(&mut b);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgx_trace::Dir;
+
+    fn cloud() -> ArrayConfig {
+        ArrayConfig::cloud()
+    }
+
+    #[test]
+    fn every_request_stays_inside_its_region() {
+        for model in [Model::alexnet(2), Model::resnet50(1), Model::bert_base(1, 64)] {
+            let t = build_inference_trace(&model, &cloud(), Dataflow::WeightStationary);
+            for phase in &t.phases {
+                for req in &phase.requests {
+                    let r = t.regions.get(req.region);
+                    assert!(
+                        req.addr >= r.base && req.end() <= r.end(),
+                        "{}: request {req:?} escapes region {} [{:#x},{:#x})",
+                        model.name,
+                        r.name,
+                        r.base,
+                        r.end()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inference_reads_each_weight_once() {
+        // WS dataflow loads each weight slab exactly once per run.
+        let model = Model::alexnet(1);
+        let t = build_inference_trace(&model, &cloud(), Dataflow::WeightStationary);
+        let mut weight_reads = 0u64;
+        for phase in &t.phases {
+            for req in &phase.requests {
+                if t.regions.get(req.region).class == DataClass::Weight {
+                    assert_eq!(req.dir, Dir::Read);
+                    weight_reads += req.bytes;
+                }
+            }
+        }
+        assert_eq!(weight_reads, model.weight_elems() * cloud().dtype_bytes);
+    }
+
+    #[test]
+    fn training_trace_is_heavier_than_inference() {
+        let model = Model::alexnet(2);
+        let inf = build_inference_trace(&model, &cloud(), Dataflow::WeightStationary);
+        let tr = build_training_trace(&model, &cloud(), Dataflow::WeightStationary);
+        assert!(
+            tr.traffic().total() > 2 * inf.traffic().total(),
+            "training {} vs inference {}",
+            tr.traffic().total(),
+            inf.traffic().total()
+        );
+        assert!(tr.compute_cycles() > 2 * inf.compute_cycles());
+    }
+
+    #[test]
+    fn training_touches_gradient_regions() {
+        let model = Model::alexnet(1);
+        let tr = build_training_trace(&model, &cloud(), Dataflow::WeightStationary);
+        let mut grad_bytes = 0u64;
+        for phase in &tr.phases {
+            for req in &phase.requests {
+                if tr.regions.get(req.region).class == DataClass::Gradient {
+                    grad_bytes += req.bytes;
+                }
+            }
+        }
+        assert!(grad_bytes > 0, "backward pass must move gradients");
+    }
+
+    #[test]
+    fn weight_update_adds_three_weight_volumes() {
+        let model = Model::alexnet(1);
+        let base = build_training_trace(&model, &cloud(), Dataflow::WeightStationary);
+        let upd = build_training_trace_with_update(&model, &cloud(), Dataflow::WeightStationary, true);
+        let extra = upd.traffic().total() - base.traffic().total();
+        let weights = model.weight_elems() * cloud().dtype_bytes;
+        assert_eq!(extra, 3 * weights, "read w + read gw + write w");
+    }
+
+    #[test]
+    fn dlrm_gathers_from_embedding_regions() {
+        let model = Model::dlrm(16);
+        let t = build_inference_trace(&model, &cloud(), Dataflow::WeightStationary);
+        let mut emb_reads = 0u64;
+        let mut emb_req_bytes = Vec::new();
+        for phase in &t.phases {
+            for req in &phase.requests {
+                if t.regions.get(req.region).class == DataClass::Embedding {
+                    emb_reads += 1;
+                    emb_req_bytes.push(req.bytes);
+                }
+            }
+        }
+        assert_eq!(emb_reads, 16 * 26, "one gather per (sample, table)");
+        assert!(emb_req_bytes.iter().all(|&b| b == 256), "64 × f32 rows");
+    }
+
+    #[test]
+    fn vgg_inference_traffic_is_weight_dominated_at_batch_1() {
+        let model = Model::vgg16(1);
+        let t = build_inference_trace(&model, &cloud(), Dataflow::WeightStationary);
+        let weights = model.weight_elems(); // ≈138 MB at 1 B/elem
+        assert!(t.traffic().total() > weights);
+        assert!(
+            t.traffic().total() < 3 * weights,
+            "traffic {} should be within 3× of the weight volume {weights}",
+            t.traffic().total()
+        );
+    }
+
+    #[test]
+    fn phases_have_monotone_nonzero_structure() {
+        let model = Model::googlenet(1);
+        let t = build_inference_trace(&model, &cloud(), Dataflow::WeightStationary);
+        assert!(t.phases.len() > 60, "one+ phase per layer, got {}", t.phases.len());
+        assert!(t.phases.iter().all(|p| !p.requests.is_empty() || p.compute_cycles > 0));
+    }
+}

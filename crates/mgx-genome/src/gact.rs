@@ -1,0 +1,286 @@
+//! GACT: banded tiled alignment with traceback (Darwin's second stage).
+//!
+//! Each GACT array aligns a `tile × tile` window of (reference, query)
+//! with Smith–Waterman-style dynamic programming restricted to a band,
+//! records per-cell traceback pointers on-chip, and emits the compressed
+//! traceback path — the only data written back to DRAM (§VII-A: "GACT
+//! arrays writing traceback pointers for each tile sequentially").
+
+/// Alignment scoring (Darwin defaults: match +1, mismatch −1, gap −1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scoring {
+    /// Score added on a base match.
+    pub match_score: i32,
+    /// Penalty (negative) on substitution.
+    pub mismatch: i32,
+    /// Penalty (negative) per gap base.
+    pub gap: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Self { match_score: 1, mismatch: -1, gap: -1 }
+    }
+}
+
+/// One traceback step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Diagonal: consume one reference and one query base.
+    Diag,
+    /// Up: gap in the reference (consume a query base).
+    Up,
+    /// Left: gap in the query (consume a reference base).
+    Left,
+}
+
+/// Result of aligning one tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileAlignment {
+    /// Best local score in the tile.
+    pub score: i32,
+    /// End coordinates `(ref_idx, query_idx)` of the best cell (exclusive).
+    pub end: (usize, usize),
+    /// Traceback path from the best cell to the tile origin (most recent
+    /// step first). Each step packs into 2 bits in hardware.
+    pub path: Vec<Step>,
+}
+
+impl TileAlignment {
+    /// Bytes of compressed traceback this tile writes to DRAM (2 bits per
+    /// step, rounded up).
+    pub fn traceback_bytes(&self) -> usize {
+        (self.path.len() * 2).div_ceil(8)
+    }
+}
+
+/// Banded global-ish alignment of one tile: DP over `|i−j| ≤ band`.
+///
+/// Matches Darwin's GACT semantics: the alignment starts at the tile
+/// origin `(0, 0)` (the previous tile's endpoint) and the traceback is
+/// taken from the highest-scoring cell.
+///
+/// # Panics
+///
+/// Panics if either sequence is empty or `band == 0`.
+#[allow(clippy::needless_range_loop)] // DP recurrences index (i, j) against two matrices
+pub fn align_tile(reference: &[u8], query: &[u8], band: usize, scoring: &Scoring) -> TileAlignment {
+    assert!(!reference.is_empty() && !query.is_empty(), "sequences must be non-empty");
+    assert!(band > 0, "band must be positive");
+    let (n, m) = (reference.len(), query.len());
+    const NEG: i32 = i32::MIN / 4;
+    // score[i][j] = best alignment of reference[..i] vs query[..j].
+    let mut score = vec![vec![NEG; m + 1]; n + 1];
+    let mut from = vec![vec![None::<Step>; m + 1]; n + 1];
+    score[0][0] = 0;
+    for i in 0..=n {
+        for j in 0..=m {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            if i.abs_diff(j) > band {
+                continue;
+            }
+            let mut best = NEG;
+            let mut step = None;
+            if i > 0 && j > 0 {
+                let s = score[i - 1][j - 1]
+                    + if reference[i - 1] == query[j - 1] {
+                        scoring.match_score
+                    } else {
+                        scoring.mismatch
+                    };
+                if s > best {
+                    best = s;
+                    step = Some(Step::Diag);
+                }
+            }
+            if i > 0 && score[i - 1][j] + scoring.gap > best {
+                best = score[i - 1][j] + scoring.gap;
+                step = Some(Step::Left);
+            }
+            if j > 0 && score[i][j - 1] + scoring.gap > best {
+                best = score[i][j - 1] + scoring.gap;
+                step = Some(Step::Up);
+            }
+            score[i][j] = best;
+            from[i][j] = step;
+        }
+    }
+    // Best cell anywhere (local-to-tile semantics).
+    let (mut bi, mut bj, mut bs) = (0, 0, 0);
+    for i in 0..=n {
+        for j in 0..=m {
+            if score[i][j] > bs {
+                (bi, bj, bs) = (i, j, score[i][j]);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let (mut i, mut j) = (bi, bj);
+    while let Some(step) = from[i][j] {
+        path.push(step);
+        match step {
+            Step::Diag => {
+                i -= 1;
+                j -= 1;
+            }
+            Step::Left => i -= 1,
+            Step::Up => j -= 1,
+        }
+        if i == 0 && j == 0 {
+            break;
+        }
+    }
+    TileAlignment { score: bs, end: (bi, bj), path }
+}
+
+/// Chains tiles along a read: aligns successive `tile`-sized windows of
+/// (reference, query) starting at the D-SOFT candidate, advancing each
+/// tile from the previous tile's endpoint. Returns per-tile alignments.
+pub fn extend(
+    reference: &[u8],
+    query: &[u8],
+    ref_start: usize,
+    tile: usize,
+    band: usize,
+    scoring: &Scoring,
+) -> Vec<TileAlignment> {
+    let mut out = Vec::new();
+    let (mut ri, mut qi) = (ref_start, 0usize);
+    while qi < query.len() && ri < reference.len() {
+        let rs = &reference[ri..(ri + tile).min(reference.len())];
+        let qs = &query[qi..(qi + tile).min(query.len())];
+        if rs.is_empty() || qs.is_empty() {
+            break;
+        }
+        let t = align_tile(rs, qs, band, scoring);
+        let (re, qe) = t.end;
+        if re == 0 || qe == 0 {
+            out.push(t);
+            break;
+        }
+        ri += re;
+        qi += qe;
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let s = b"ACGTACGTACGTACGT";
+        let t = align_tile(s, s, 8, &Scoring::default());
+        assert_eq!(t.score, s.len() as i32);
+        assert_eq!(t.end, (s.len(), s.len()));
+        assert!(t.path.iter().all(|s| *s == Step::Diag));
+    }
+
+    #[test]
+    fn single_substitution_costs_two() {
+        let a = b"ACGTACGTAC";
+        let b = b"ACGTTCGTAC";
+        let t = align_tile(a, b, 4, &Scoring::default());
+        // 9 matches + 1 mismatch = 9 - 1 = 8.
+        assert_eq!(t.score, 8);
+    }
+
+    #[test]
+    fn insertion_uses_up_step() {
+        let a = b"ACGTACGT";
+        let b = b"ACGTTACGT"; // extra T inserted in the query
+        let t = align_tile(a, b, 4, &Scoring::default());
+        assert_eq!(t.score, 8 - 1);
+        assert_eq!(t.path.iter().filter(|s| **s == Step::Up).count(), 1);
+    }
+
+    #[test]
+    fn deletion_uses_left_step() {
+        let a = b"ACGTACGT";
+        let b = b"ACGACGT"; // T deleted from the query
+        let t = align_tile(a, b, 4, &Scoring::default());
+        assert_eq!(t.path.iter().filter(|s| **s == Step::Left).count(), 1);
+    }
+
+    #[test]
+    fn band_limits_explainable_gaps() {
+        // A 10-base deletion: recoverable only if the band spans it.
+        let a = b"AAAAAAAAAAGGGGGGGGGGTTTTTTTTTT";
+        let b = b"AAAAAAAAAATTTTTTTTTT";
+        let scoring = Scoring { match_score: 2, mismatch: -2, gap: -1 };
+        let narrow = align_tile(a, b, 3, &scoring);
+        let wide = align_tile(a, b, 12, &scoring);
+        assert_eq!(narrow.score, 20, "band 3 only reaches the A-run");
+        assert_eq!(wide.score, 30, "band 12 jumps the deletion: 40 - 10 gaps");
+    }
+
+    #[test]
+    fn traceback_bytes_pack_2_bits_per_step() {
+        let s = b"ACGTACGTACGTACGTA";
+        let t = align_tile(s, s, 4, &Scoring::default());
+        assert_eq!(t.path.len(), 17);
+        assert_eq!(t.traceback_bytes(), (17 * 2usize).div_ceil(8));
+    }
+
+    #[test]
+    fn extend_chains_tiles_across_a_read() {
+        let reference = b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT".to_vec();
+        let query = reference[8..40].to_vec();
+        let tiles = extend(&reference, &query, 8, 16, 8, &Scoring::default());
+        assert!(tiles.len() >= 2, "32-base read over 16-base tiles needs ≥2 tiles");
+        let aligned: usize = tiles.iter().map(|t| t.end.1).sum();
+        assert_eq!(aligned, query.len(), "the whole query must be consumed");
+        assert!(tiles.iter().all(|t| t.score > 0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], len)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Score bounds: never above match_score × min(len) and the perfect
+        /// self-alignment achieves exactly that bound.
+        #[test]
+        fn score_is_bounded(a in dna(4..40), b in dna(4..40)) {
+            let scoring = Scoring::default();
+            let t = align_tile(&a, &b, 16, &scoring);
+            let bound = scoring.match_score * a.len().min(b.len()) as i32;
+            prop_assert!(t.score <= bound, "score {} > bound {}", t.score, bound);
+            prop_assert!(t.score >= 0, "local-to-tile score is never negative");
+            let perfect = align_tile(&a, &a, 16, &scoring);
+            prop_assert_eq!(perfect.score, scoring.match_score * a.len() as i32);
+        }
+
+        /// The traceback path's consumed lengths match the end coordinates.
+        #[test]
+        fn path_lengths_match_endpoint(a in dna(4..40), b in dna(4..40)) {
+            let t = align_tile(&a, &b, 16, &Scoring::default());
+            let ref_steps = t.path.iter().filter(|s| matches!(s, Step::Diag | Step::Left)).count();
+            let query_steps = t.path.iter().filter(|s| matches!(s, Step::Diag | Step::Up)).count();
+            prop_assert_eq!(ref_steps, t.end.0);
+            prop_assert_eq!(query_steps, t.end.1);
+        }
+
+        /// Extension over an exact substring consumes the whole query.
+        #[test]
+        fn extend_consumes_exact_substrings(reference in dna(120..300), start in 0usize..64) {
+            let start = start.min(reference.len() - 64);
+            let query = reference[start..start + 64].to_vec();
+            let tiles = extend(&reference, &query, start, 32, 16, &Scoring::default());
+            let consumed: usize = tiles.iter().map(|t| t.end.1).sum();
+            prop_assert_eq!(consumed, query.len());
+        }
+    }
+}

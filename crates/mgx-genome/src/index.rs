@@ -1,0 +1,112 @@
+//! K-mer seed index: Darwin's seed-pointer + position tables (Fig 15).
+
+use std::collections::HashMap;
+
+/// Packs a k-mer into 2-bit-per-base form; `None` if it contains a
+/// non-ACGT byte.
+pub fn pack_kmer(kmer: &[u8]) -> Option<u64> {
+    let mut v = 0u64;
+    for &b in kmer {
+        let code = match b {
+            b'A' => 0,
+            b'C' => 1,
+            b'G' => 2,
+            b'T' => 3,
+            _ => return None,
+        };
+        v = (v << 2) | code;
+    }
+    Some(v)
+}
+
+/// An exact-match seed index over a reference sequence.
+///
+/// Functionally equivalent to Darwin's two-level seed-pointer/position
+/// table: [`SeedIndex::lookup`] returns every reference position where the
+/// seed occurs.
+#[derive(Debug)]
+pub struct SeedIndex {
+    k: usize,
+    positions: HashMap<u64, Vec<u32>>,
+}
+
+impl SeedIndex {
+    /// Builds the index with seed length `k` (sampled every base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or > 31.
+    pub fn build(reference: &[u8], k: usize) -> Self {
+        assert!(k > 0 && k <= 31, "seed length must be 1..=31");
+        let mut positions: HashMap<u64, Vec<u32>> = HashMap::new();
+        if reference.len() >= k {
+            for i in 0..=reference.len() - k {
+                if let Some(key) = pack_kmer(&reference[i..i + k]) {
+                    positions.entry(key).or_default().push(i as u32);
+                }
+            }
+        }
+        Self { k, positions }
+    }
+
+    /// Seed length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct seeds present.
+    pub fn distinct_seeds(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Reference positions of `seed` (empty if absent or malformed).
+    pub fn lookup(&self, seed: &[u8]) -> &[u32] {
+        debug_assert_eq!(seed.len(), self.k);
+        pack_kmer(seed)
+            .and_then(|key| self.positions.get(&key))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_kmer_is_injective_for_fixed_k() {
+        let a = pack_kmer(b"ACGT").unwrap();
+        let b = pack_kmer(b"ACGA").unwrap();
+        let c = pack_kmer(b"TGCA").unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pack_kmer(b"ACGN"), None);
+    }
+
+    #[test]
+    fn lookup_finds_all_occurrences() {
+        //        0123456789
+        let r = b"ACGTACGTAC";
+        let idx = SeedIndex::build(r, 4);
+        assert_eq!(idx.lookup(b"ACGT"), &[0, 4]);
+        assert_eq!(idx.lookup(b"CGTA"), &[1, 5]);
+        assert_eq!(idx.lookup(b"TTTT"), &[] as &[u32]);
+    }
+
+    #[test]
+    fn every_position_is_indexed() {
+        let r = b"AACCGGTTAACCGGTT";
+        let idx = SeedIndex::build(r, 5);
+        let total: usize = (0..=r.len() - 5).map(|i| {
+            let hits = idx.lookup(&r[i..i + 5]);
+            assert!(hits.contains(&(i as u32)), "position {i} missing");
+            1
+        }).sum();
+        assert_eq!(total, r.len() - 4);
+    }
+
+    #[test]
+    fn short_reference_yields_empty_index() {
+        let idx = SeedIndex::build(b"ACG", 5);
+        assert_eq!(idx.distinct_seeds(), 0);
+    }
+}

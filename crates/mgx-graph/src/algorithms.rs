@@ -1,0 +1,208 @@
+//! Graph algorithms expressed as semiring SpMV (paper §V-A).
+
+use crate::csr::Csr;
+use crate::semiring::{BoolOrAnd, MinPlus, PlusTimes};
+use crate::spmv::{spmspv, spmv};
+
+/// PageRank by power iteration: `r' = (1−d)/n + d · (A_norm · r)`.
+///
+/// `a` must be column-normalized ([`Csr::normalize_columns`]). Returns the
+/// rank vector after `iters` iterations (the accelerator runs a fixed
+/// iteration count per Fig 10's schedule).
+pub fn pagerank(a: &Csr, damping: f32, iters: usize) -> Vec<f32> {
+    let n = a.n.max(1);
+    let mut rank = vec![1.0 / n as f32; a.n];
+    for _ in 0..iters {
+        let contrib = spmv::<PlusTimes>(a, &rank);
+        for (r, c) in rank.iter_mut().zip(contrib) {
+            *r = (1.0 - damping) / n as f32 + damping * c;
+        }
+    }
+    rank
+}
+
+/// Breadth-first search from `src` over the boolean semiring, using
+/// SpMSpV with the current frontier as the sparse vector (paper §V-B).
+///
+/// Returns `(levels, num_levels)` where `levels[v]` is the BFS depth of
+/// `v` (`u32::MAX` when unreachable) and `num_levels` counts the SpMV
+/// sweeps executed — the iteration count the accelerator model uses.
+pub fn bfs(a: &Csr, src: u32) -> (Vec<u32>, usize) {
+    let mut levels = vec![u32::MAX; a.n];
+    if a.n == 0 {
+        return (levels, 0);
+    }
+    levels[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut x = vec![false; a.n];
+    x[src as usize] = true;
+    let mut sweeps = 0;
+    while !frontier.is_empty() {
+        let (reached, touched) = spmspv::<BoolOrAnd>(a, &x, &frontier);
+        sweeps += 1;
+        frontier.clear();
+        for v in touched {
+            if reached[v as usize] && levels[v as usize] == u32::MAX {
+                levels[v as usize] = sweeps as u32;
+                frontier.push(v);
+            }
+        }
+        x.iter_mut().for_each(|b| *b = false);
+        for &v in &frontier {
+            x[v as usize] = true;
+        }
+    }
+    (levels, sweeps)
+}
+
+/// Single-source shortest paths by Bellman–Ford-style relaxation over the
+/// tropical semiring. Returns distances (`f32::INFINITY` when
+/// unreachable).
+pub fn sssp(a: &Csr, src: u32) -> Vec<f32> {
+    let mut dist = vec![f32::INFINITY; a.n];
+    if a.n == 0 {
+        return dist;
+    }
+    dist[src as usize] = 0.0;
+    for _ in 0..a.n {
+        let relaxed = spmv::<MinPlus>(a, &dist);
+        let mut changed = false;
+        for (d, r) in dist.iter_mut().zip(relaxed) {
+            let best = d.min(r);
+            if best < *d {
+                *d = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig 9's four-vertex example graph: A→B, A→C, B→D, C→D (dst, src).
+    fn fig9() -> Csr {
+        let mut g = Csr::from_edges(4, &[(1, 0), (2, 0), (3, 1), (3, 2)]);
+        g.normalize_columns();
+        g
+    }
+
+    #[test]
+    fn pagerank_converges_and_orders_sensibly() {
+        let g = fig9();
+        let r = pagerank(&g, 0.85, 50);
+        // Mass sums below 1 only by the dangling-node leak; D (two
+        // in-edges) must outrank B and C, which outrank A (no in-edges).
+        assert!(r[3] > r[1] && r[3] > r[2], "sink D has the most rank: {r:?}");
+        assert!(r[1] > r[0] && r[2] > r[0], "A has least rank: {r:?}");
+        assert!((r[1] - r[2]).abs() < 1e-6, "B and C symmetric");
+        assert!(r.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn pagerank_iterations_change_nothing_at_fixpoint() {
+        let g = fig9();
+        let a = pagerank(&g, 0.85, 100);
+        let b = pagerank(&g, 0.85, 101);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bfs_levels_on_diamond() {
+        let g = fig9();
+        let (levels, sweeps) = bfs(&g, 0);
+        assert_eq!(levels, vec![0, 1, 1, 2]);
+        // Frontier sweeps: {A}→{B,C}, {B,C}→{D}, {D}→{} = 3.
+        assert_eq!(sweeps, 3);
+    }
+
+    #[test]
+    fn bfs_unreachable_vertices_stay_max() {
+        let g = Csr::from_edges(3, &[(1, 0)]);
+        let (levels, _) = bfs(&g, 0);
+        assert_eq!(levels, vec![0, 1, u32::MAX]);
+    }
+
+    #[test]
+    fn sssp_matches_bfs_on_unit_weights() {
+        let g = fig9();
+        // Reset weights to 1 (normalize_columns changed them).
+        let g = Csr { values: vec![1.0; g.nnz()], ..g };
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sssp_on_disconnected_graph() {
+        let g = Csr::from_edges(2, &[]);
+        let d = sssp(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], f32::INFINITY);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::rmat::RmatGenerator;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// BFS level invariant: an edge (dst ← src) implies
+        /// level[dst] ≤ level[src] + 1 whenever src is reachable.
+        #[test]
+        fn bfs_levels_satisfy_triangle_property(seed in any::<u64>(), src in 0u32..64) {
+            let g = RmatGenerator::social(6, seed).generate(300);
+            let (levels, _) = bfs(&g, src);
+            prop_assert_eq!(levels[src as usize], 0);
+            for dst in 0..g.n {
+                for (s, _) in g.row(dst) {
+                    if levels[s as usize] != u32::MAX {
+                        prop_assert!(
+                            levels[dst] <= levels[s as usize] + 1,
+                            "edge {s}→{dst}: {} vs {}", levels[s as usize], levels[dst]
+                        );
+                    }
+                }
+            }
+        }
+
+        /// SSSP distances are a fixpoint: no edge can relax any further,
+        /// and they lower-bound BFS levels on unit weights.
+        #[test]
+        fn sssp_is_a_fixpoint(seed in any::<u64>(), src in 0u32..64) {
+            let g = RmatGenerator::social(6, seed).generate(300);
+            let d = sssp(&g, src);
+            for dst in 0..g.n {
+                for (s, w) in g.row(dst) {
+                    prop_assert!(d[dst] <= d[s as usize] + w, "edge {s}→{dst} relaxable");
+                }
+            }
+            let (levels, _) = bfs(&g, src);
+            for v in 0..g.n {
+                prop_assert_eq!(levels[v] == u32::MAX, d[v].is_infinite());
+            }
+        }
+
+        /// PageRank mass stays bounded: each entry in (0, 1] and the vector
+        /// sum never exceeds 1 + ε (dangling nodes only leak mass).
+        #[test]
+        fn pagerank_mass_is_bounded(seed in any::<u64>()) {
+            let mut g = RmatGenerator::social(7, seed).generate(600);
+            g.normalize_columns();
+            let r = pagerank(&g, 0.85, 25);
+            let sum: f32 = r.iter().sum();
+            prop_assert!(sum <= 1.0 + 1e-3, "rank mass {sum} exceeds 1");
+            prop_assert!(r.iter().all(|&v| v > 0.0 && v <= 1.0));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The paper's six graph benchmarks (§VI-A) with published sizes.
+
+use crate::csr::Csr;
+use crate::rmat::RmatGenerator;
+
+/// A benchmark graph's published shape plus the R-MAT recipe that stands in
+/// for it (see DESIGN.md's substitution table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dataset {
+    /// Name as it appears in the figures.
+    pub name: &'static str,
+    /// Published vertex count.
+    pub vertices: u64,
+    /// Published (directed) edge count.
+    pub edges: u64,
+}
+
+impl Dataset {
+    /// The six benchmarks in the paper's order.
+    pub fn suite() -> [Dataset; 6] {
+        [
+            Dataset { name: "google-plus", vertices: 107_614, edges: 13_673_453 },
+            Dataset { name: "pokec", vertices: 1_632_803, edges: 30_622_564 },
+            Dataset { name: "livejournal", vertices: 4_847_571, edges: 68_993_773 },
+            Dataset { name: "reddit", vertices: 232_965, edges: 114_615_892 },
+            Dataset { name: "ogbl-ppa", vertices: 576_289, edges: 42_463_862 },
+            Dataset { name: "ogbn-products", vertices: 2_449_029, edges: 123_718_280 },
+        ]
+    }
+
+    /// Looks a benchmark up by name.
+    pub fn by_name(name: &str) -> Option<Dataset> {
+        Self::suite().into_iter().find(|d| d.name == name)
+    }
+
+    /// Average degree.
+    pub fn avg_degree(&self) -> f64 {
+        self.edges as f64 / self.vertices as f64
+    }
+
+    /// Generates the R-MAT stand-in at `1/scale_divisor` of the published
+    /// size (same average degree, same skew). `scale_divisor = 1` is the
+    /// full-size graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale_divisor == 0`.
+    pub fn generate(&self, scale_divisor: u64, seed: u64) -> Csr {
+        assert!(scale_divisor > 0, "scale divisor must be positive");
+        let target_v = (self.vertices / scale_divisor).max(1024);
+        let scale = (64 - (target_v - 1).leading_zeros()).max(10);
+        let edges = ((self.edges / scale_divisor) as usize).max(4096);
+        RmatGenerator::social(scale, seed ^ self.vertices).generate(edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_published_counts() {
+        let s = Dataset::suite();
+        assert_eq!(s.len(), 6);
+        // The paper quotes ogbl-ppa as 576 K vertices / 42 M edges and
+        // ogbn-products as 2449 K / 124 M (§VI-A).
+        let ppa = Dataset::by_name("ogbl-ppa").unwrap();
+        assert_eq!(ppa.vertices / 1000, 576);
+        let prod = Dataset::by_name("ogbn-products").unwrap();
+        assert_eq!(prod.vertices / 1000, 2449);
+        assert!(prod.edges > 120_000_000);
+    }
+
+    #[test]
+    fn generated_graph_tracks_average_degree() {
+        let d = Dataset::by_name("google-plus").unwrap();
+        let g = d.generate(16, 1);
+        let want = d.avg_degree();
+        let got = g.avg_degree();
+        assert!(
+            (got - want).abs() / want < 0.35,
+            "avg degree {got:.1} should approximate published {want:.1}"
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(Dataset::by_name("twitter").is_none());
+    }
+
+    #[test]
+    fn scale_divisor_shrinks_graph() {
+        let d = Dataset::by_name("pokec").unwrap();
+        let big = d.generate(64, 3);
+        let small = d.generate(256, 3);
+        assert!(big.nnz() > 2 * small.nnz());
+    }
+}

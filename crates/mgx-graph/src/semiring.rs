@@ -1,0 +1,130 @@
+//! Semirings: the algebraic core of GraphBLAS (paper §V-A).
+//!
+//! A semiring `(D, ⊗, ⊕, I⊗, I⊕)` turns one SpMV kernel into many graph
+//! algorithms: PageRank uses `(ℝ, ×, +, 1, 0)`, BFS uses
+//! `(𝔹, &, |, 1, 0)`, and SSSP uses `(ℝ∪{∞}, +, min, 0, ∞)`.
+
+/// A GraphBLAS semiring over value type `Self::Value`.
+pub trait Semiring {
+    /// Element domain.
+    type Value: Copy + PartialEq + core::fmt::Debug;
+
+    /// The ⊗ (multiply) operation, applied per matrix entry.
+    fn mul(a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// The ⊕ (add/reduce) operation.
+    fn add(a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// Identity of ⊗.
+    fn one() -> Self::Value;
+
+    /// Identity of ⊕ (the reduction seed / "zero").
+    fn zero() -> Self::Value;
+
+    /// Converts a stored `f32` matrix value into the domain.
+    fn from_weight(w: f32) -> Self::Value;
+}
+
+/// PageRank's arithmetic semiring `(ℝ, ×, +, 1, 0)`.
+#[derive(Debug, Clone, Copy)]
+pub struct PlusTimes;
+
+impl Semiring for PlusTimes {
+    type Value = f32;
+    fn mul(a: f32, b: f32) -> f32 {
+        a * b
+    }
+    fn add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+    fn one() -> f32 {
+        1.0
+    }
+    fn zero() -> f32 {
+        0.0
+    }
+    fn from_weight(w: f32) -> f32 {
+        w
+    }
+}
+
+/// BFS's boolean semiring `(𝔹, &, |, 1, 0)`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolOrAnd;
+
+impl Semiring for BoolOrAnd {
+    type Value = bool;
+    fn mul(a: bool, b: bool) -> bool {
+        a && b
+    }
+    fn add(a: bool, b: bool) -> bool {
+        a || b
+    }
+    fn one() -> bool {
+        true
+    }
+    fn zero() -> bool {
+        false
+    }
+    fn from_weight(w: f32) -> bool {
+        w != 0.0
+    }
+}
+
+/// SSSP's tropical semiring `(ℝ∪{∞}, +, min, 0, ∞)`.
+#[derive(Debug, Clone, Copy)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type Value = f32;
+    fn mul(a: f32, b: f32) -> f32 {
+        a + b
+    }
+    fn add(a: f32, b: f32) -> f32 {
+        a.min(b)
+    }
+    fn one() -> f32 {
+        0.0
+    }
+    fn zero() -> f32 {
+        f32::INFINITY
+    }
+    fn from_weight(w: f32) -> f32 {
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_identities<S: Semiring>() {
+        let x = S::from_weight(3.0);
+        assert_eq!(S::mul(x, S::one()), x, "⊗ identity");
+        assert_eq!(S::add(x, S::zero()), x, "⊕ identity");
+        // zero annihilates under ⊗ for these three semirings.
+        assert_eq!(S::mul(S::zero(), S::one()), S::zero());
+    }
+
+    #[test]
+    fn identities_hold() {
+        check_identities::<PlusTimes>();
+        check_identities::<BoolOrAnd>();
+        // MinPlus: ∞ + 0 = ∞ (annihilation), min(x, ∞) = x.
+        assert_eq!(MinPlus::add(5.0, MinPlus::zero()), 5.0);
+        assert_eq!(MinPlus::mul(MinPlus::zero(), MinPlus::one()), f32::INFINITY);
+    }
+
+    #[test]
+    fn add_is_commutative_and_associative() {
+        for (a, b, c) in [(1.0f32, 2.0, 3.0), (0.5, -1.0, 7.25)] {
+            assert_eq!(PlusTimes::add(a, b), PlusTimes::add(b, a));
+            assert_eq!(
+                PlusTimes::add(PlusTimes::add(a, b), c),
+                PlusTimes::add(a, PlusTimes::add(b, c))
+            );
+            assert_eq!(MinPlus::add(a, b), MinPlus::add(b, a));
+        }
+        assert_eq!(BoolOrAnd::add(true, false), BoolOrAnd::add(false, true));
+    }
+}

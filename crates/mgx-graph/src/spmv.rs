@@ -1,0 +1,155 @@
+//! Functional SpMV and SpMSpV kernels over a semiring.
+
+use crate::csr::Csr;
+use crate::semiring::Semiring;
+
+/// Dense-vector SpMV: `y[r] = ⊕_{(c,w) ∈ row r} (w ⊗ x[c])`, seeded with
+/// the semiring zero.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.n`.
+#[allow(clippy::needless_range_loop)] // row index drives both the matrix and y
+pub fn spmv<S: Semiring>(a: &Csr, x: &[S::Value]) -> Vec<S::Value> {
+    assert_eq!(x.len(), a.n, "dimension mismatch");
+    let mut y = vec![S::zero(); a.n];
+    for r in 0..a.n {
+        let mut acc = S::zero();
+        for (c, w) in a.row(r) {
+            acc = S::add(acc, S::mul(S::from_weight(w), x[c as usize]));
+        }
+        y[r] = acc;
+    }
+    y
+}
+
+/// Sparse-vector SpMSpV (paper §V-B): only the entries of `x` listed in
+/// `active` participate; rows with no active neighbour keep the semiring
+/// zero. Returns `(y, touched)` where `touched` lists rows whose value is
+/// non-zero (the next frontier candidate set).
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.n`.
+#[allow(clippy::needless_range_loop)] // row index drives both the matrix and y
+pub fn spmspv<S: Semiring>(a: &Csr, x: &[S::Value], active: &[u32]) -> (Vec<S::Value>, Vec<u32>) {
+    assert_eq!(x.len(), a.n, "dimension mismatch");
+    let mut in_active = vec![false; a.n];
+    for &v in active {
+        in_active[v as usize] = true;
+    }
+    let mut y = vec![S::zero(); a.n];
+    let mut touched = Vec::new();
+    for r in 0..a.n {
+        let mut acc = S::zero();
+        for (c, w) in a.row(r) {
+            if in_active[c as usize] {
+                acc = S::add(acc, S::mul(S::from_weight(w), x[c as usize]));
+            }
+        }
+        if acc != S::zero() {
+            touched.push(r as u32);
+        }
+        y[r] = acc;
+    }
+    (y, touched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolOrAnd, MinPlus, PlusTimes};
+
+    fn chain() -> Csr {
+        // 0→1→2→3 stored as (dst, src).
+        Csr::from_edges(4, &[(1, 0), (2, 1), (3, 2)])
+    }
+
+    #[test]
+    fn plus_times_propagates_mass() {
+        let g = chain();
+        let x = vec![1.0, 0.0, 0.0, 0.0];
+        let y = spmv::<PlusTimes>(&g, &x);
+        assert_eq!(y, vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn bool_semiring_is_one_bfs_step() {
+        let g = chain();
+        let x = vec![false, true, false, false];
+        let y = spmv::<BoolOrAnd>(&g, &x);
+        assert_eq!(y, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn min_plus_relaxes_distances() {
+        let g = chain();
+        let x = vec![0.0, f32::INFINITY, f32::INFINITY, f32::INFINITY];
+        let y = spmv::<MinPlus>(&g, &x);
+        assert_eq!(y[1], 1.0); // weight 1 + distance 0
+        assert_eq!(y[0], f32::INFINITY);
+    }
+
+    #[test]
+    fn spmspv_matches_spmv_on_full_frontier() {
+        let g = chain();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let full: Vec<u32> = (0..4).collect();
+        let (sparse, touched) = spmspv::<PlusTimes>(&g, &x, &full);
+        assert_eq!(sparse, spmv::<PlusTimes>(&g, &x));
+        assert_eq!(touched, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn spmspv_ignores_inactive_entries() {
+        let g = chain();
+        let x = vec![1.0, 5.0, 0.0, 0.0];
+        let (y, touched) = spmspv::<PlusTimes>(&g, &x, &[0]);
+        assert_eq!(y, vec![0.0, 1.0, 0.0, 0.0], "x[1] inactive, must not flow");
+        assert_eq!(touched, vec![1]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::rmat::RmatGenerator;
+    use crate::semiring::{BoolOrAnd, PlusTimes};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// SpMV over (ℝ, ×, +) is linear: A(x + y) = Ax + Ay, using small
+        /// integers stored exactly in f32 so equality is exact.
+        #[test]
+        fn plus_times_spmv_is_linear(
+            seed in any::<u64>(),
+            xs in proptest::collection::vec(0u8..16, 64),
+            ys in proptest::collection::vec(0u8..16, 64),
+        ) {
+            let g = RmatGenerator::social(6, seed).generate(256);
+            let x: Vec<f32> = xs.iter().map(|&v| v as f32).collect();
+            let y: Vec<f32> = ys.iter().map(|&v| v as f32).collect();
+            let xy: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+            let ax = spmv::<PlusTimes>(&g, &x);
+            let ay = spmv::<PlusTimes>(&g, &y);
+            let axy = spmv::<PlusTimes>(&g, &xy);
+            for ((a, b), c) in ax.iter().zip(&ay).zip(&axy) {
+                prop_assert_eq!(a + b, *c);
+            }
+        }
+
+        /// SpMSpV with the full active set equals dense SpMV on any graph.
+        #[test]
+        fn spmspv_full_frontier_equals_spmv(
+            seed in any::<u64>(),
+            bits in proptest::collection::vec(any::<bool>(), 64),
+        ) {
+            let g = RmatGenerator::social(6, seed).generate(200);
+            let full: Vec<u32> = (0..64).collect();
+            let (sparse, _) = spmspv::<BoolOrAnd>(&g, &bits, &full);
+            prop_assert_eq!(sparse, spmv::<BoolOrAnd>(&g, &bits));
+        }
+    }
+}

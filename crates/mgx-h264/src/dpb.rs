@@ -1,0 +1,107 @@
+//! Decoded-picture-buffer (DPB) management.
+//!
+//! The decoder owns a small set of frame buffers in DRAM (Fig 19 shows
+//! three: one being written, two holding references). A buffer may be
+//! recycled once its occupant frame is no longer referenced by any
+//! not-yet-decoded frame — which is exactly why buffer locations get
+//! *rewritten* across frames and need fresh version numbers per frame.
+
+use crate::gop::GopStructure;
+
+/// Assigns frames to a fixed pool of buffers along the decode order.
+#[derive(Debug, Clone)]
+pub struct BufferPlan {
+    /// `assignment[display_idx]` = buffer index.
+    pub assignment: Vec<usize>,
+    /// Number of buffers used.
+    pub buffers: usize,
+}
+
+/// Plans buffer reuse for `gop` with `buffers` available frame buffers.
+///
+/// # Panics
+///
+/// Panics if the GOP cannot be decoded with that many buffers (a frame's
+/// references plus itself exceed the pool).
+#[allow(clippy::needless_range_loop)] // `d` is a display index used against several tables
+pub fn plan_buffers(gop: &GopStructure, buffers: usize) -> BufferPlan {
+    let order = gop.decode_order();
+    let decode_pos = {
+        let mut pos = vec![0usize; gop.len()];
+        for (p, &d) in order.iter().enumerate() {
+            pos[d] = p;
+        }
+        pos
+    };
+    // A frame must stay resident until the last decode position that reads
+    // it (or its own position if never referenced).
+    let mut last_use = decode_pos.clone();
+    for d in 0..gop.len() {
+        for r in gop.references(d) {
+            last_use[r] = last_use[r].max(decode_pos[d]);
+        }
+    }
+    let mut occupant: Vec<Option<usize>> = vec![None; buffers];
+    let mut assignment = vec![usize::MAX; gop.len()];
+    for (step, &d) in order.iter().enumerate() {
+        let slot = occupant
+            .iter()
+            .position(|o| o.is_none_or(|f| last_use[f] < step))
+            .unwrap_or_else(|| panic!("GOP needs more than {buffers} frame buffers"));
+        occupant[slot] = Some(d);
+        assignment[d] = slot;
+    }
+    BufferPlan { assignment, buffers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibpb_fits_in_three_buffers() {
+        let gop = GopStructure::ibpb(12);
+        let plan = plan_buffers(&gop, 3);
+        assert!(plan.assignment.iter().all(|&b| b < 3));
+    }
+
+    #[test]
+    fn references_never_share_a_buffer_with_the_consumer() {
+        let gop = GopStructure::ibpb(12);
+        let plan = plan_buffers(&gop, 3);
+        for d in 0..gop.len() {
+            for r in gop.references(d) {
+                assert_ne!(
+                    plan.assignment[d], plan.assignment[r],
+                    "frame {d} would overwrite its own reference {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buffers_are_recycled() {
+        let gop = GopStructure::ibpb(12);
+        let plan = plan_buffers(&gop, 3);
+        // 12 frames in 3 buffers → at least one buffer hosts ≥ 4 frames.
+        let mut counts = [0usize; 3];
+        for &b in &plan.assignment {
+            counts[b] += 1;
+        }
+        assert!(counts.iter().any(|&c| c >= 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 2 frame buffers")]
+    fn too_few_buffers_panics() {
+        let gop = GopStructure::ibpb(8);
+        plan_buffers(&gop, 2);
+    }
+
+    #[test]
+    fn all_i_stream_can_use_one_buffer() {
+        let gop = GopStructure::all_i(6);
+        let plan = plan_buffers(&gop, 1);
+        assert!(plan.assignment.iter().all(|&b| b == 0));
+    }
+}

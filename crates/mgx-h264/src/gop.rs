@@ -1,0 +1,211 @@
+//! Group-of-pictures structure: display vs decode order (paper Fig 18).
+
+/// H.264 frame types the Main profile decoder handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Intra-coded: independent.
+    I,
+    /// Inter-predicted: references the previous anchor (I/P).
+    P,
+    /// Bidirectional: references the surrounding anchors; decoded *after*
+    /// the following anchor despite displaying before it.
+    B,
+}
+
+impl FrameType {
+    /// `true` for frames other frames may reference.
+    pub fn is_anchor(self) -> bool {
+        matches!(self, FrameType::I | FrameType::P)
+    }
+}
+
+/// A frame sequence in display order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GopStructure {
+    /// Frame types indexed by display number.
+    pub frames: Vec<FrameType>,
+}
+
+impl GopStructure {
+    /// The paper's Fig 18 pattern: `I B P B I B P …` for `n` frames.
+    pub fn ibpb(n: usize) -> Self {
+        let frames = (0..n)
+            .map(|i| match i % 4 {
+                0 => FrameType::I,
+                2 => FrameType::P,
+                _ => FrameType::B,
+            })
+            .collect();
+        Self { frames }
+    }
+
+    /// All-intra sequence (no reordering).
+    pub fn all_i(n: usize) -> Self {
+        Self { frames: vec![FrameType::I; n] }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` if the GOP holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Display indices in decode order: anchors immediately, each B after
+    /// the anchor that follows it (Fig 18's `0 2 1 4 3 6 5`).
+    pub fn decode_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.frames.len());
+        let mut pending_b = Vec::new();
+        for (i, f) in self.frames.iter().enumerate() {
+            if f.is_anchor() {
+                order.push(i);
+                order.append(&mut pending_b);
+            } else {
+                pending_b.push(i);
+            }
+        }
+        // Trailing Bs with no following anchor decode last (edge stream).
+        order.append(&mut pending_b);
+        order
+    }
+
+    /// Display indices of the frames `display_idx` reads as references:
+    /// none for I, the previous anchor for P (the paper's `F − 2` in the
+    /// IBPB pattern), the surrounding anchors for B (`F − 1`, `F + 1`).
+    pub fn references(&self, display_idx: usize) -> Vec<usize> {
+        match self.frames[display_idx] {
+            FrameType::I => Vec::new(),
+            FrameType::P => self.prev_anchor(display_idx).into_iter().collect(),
+            FrameType::B => {
+                let mut refs: Vec<usize> = self.prev_anchor(display_idx).into_iter().collect();
+                if let Some(next) = self.next_anchor(display_idx) {
+                    refs.push(next);
+                }
+                refs
+            }
+        }
+    }
+
+    fn prev_anchor(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| self.frames[j].is_anchor())
+    }
+
+    fn next_anchor(&self, i: usize) -> Option<usize> {
+        (i + 1..self.frames.len()).find(|&j| self.frames[j].is_anchor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig18_decode_order() {
+        // Display: I0 B1 P2 B3 I4 B5 P6 → decode: 0 2 1 4 3 6 5.
+        let gop = GopStructure::ibpb(7);
+        assert_eq!(
+            gop.frames,
+            vec![
+                FrameType::I,
+                FrameType::B,
+                FrameType::P,
+                FrameType::B,
+                FrameType::I,
+                FrameType::B,
+                FrameType::P
+            ]
+        );
+        assert_eq!(gop.decode_order(), vec![0, 2, 1, 4, 3, 6, 5]);
+    }
+
+    #[test]
+    fn fig18_reference_structure() {
+        let gop = GopStructure::ibpb(7);
+        assert_eq!(gop.references(0), Vec::<usize>::new());
+        assert_eq!(gop.references(2), vec![0], "P reads F−2");
+        assert_eq!(gop.references(1), vec![0, 2], "B reads F−1 and F+1");
+        assert_eq!(gop.references(3), vec![2, 4]);
+        assert_eq!(gop.references(6), vec![4]);
+    }
+
+    #[test]
+    fn references_precede_in_decode_order() {
+        // A frame's references must already be decoded when it decodes.
+        let gop = GopStructure::ibpb(16);
+        let order = gop.decode_order();
+        let pos = |d: usize| order.iter().position(|&x| x == d).unwrap();
+        for d in 0..gop.len() {
+            for r in gop.references(d) {
+                assert!(pos(r) < pos(d), "frame {d} decodes before its reference {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_i_needs_no_reordering() {
+        let gop = GopStructure::all_i(5);
+        assert_eq!(gop.decode_order(), vec![0, 1, 2, 3, 4]);
+        assert!((0..5).all(|i| gop.references(i).is_empty()));
+    }
+
+    #[test]
+    fn trailing_b_still_decodes() {
+        let gop = GopStructure::ibpb(6); // ends ...I4 B5
+        let order = gop.decode_order();
+        assert_eq!(order.len(), 6);
+        assert!(order.contains(&5));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_gop() -> impl Strategy<Value = GopStructure> {
+        proptest::collection::vec(
+            prop_oneof![Just(FrameType::I), Just(FrameType::P), Just(FrameType::B)],
+            1..32,
+        )
+        .prop_map(|mut frames| {
+            // Streams start with an I frame (decoder requirement).
+            frames[0] = FrameType::I;
+            GopStructure { frames }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// decode_order is a permutation of the display indices, and every
+        /// frame's references decode before it.
+        #[test]
+        fn decode_order_is_valid_for_any_gop(gop in arb_gop()) {
+            let order = gop.decode_order();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..gop.len()).collect::<Vec<_>>());
+            let pos = |d: usize| order.iter().position(|&x| x == d).unwrap();
+            for d in 0..gop.len() {
+                for r in gop.references(d) {
+                    prop_assert!(pos(r) < pos(d), "frame {} before its reference {}", d, r);
+                }
+            }
+        }
+
+        /// References are always anchors, and B frames reference at most 2.
+        #[test]
+        fn references_are_anchors(gop in arb_gop()) {
+            for d in 0..gop.len() {
+                let refs = gop.references(d);
+                prop_assert!(refs.len() <= 2);
+                for r in refs {
+                    prop_assert!(gop.frames[r].is_anchor());
+                }
+            }
+        }
+    }
+}

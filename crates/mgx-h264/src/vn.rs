@@ -1,0 +1,89 @@
+//! The MGX version-number scheme for video decoding (paper §VII-A).
+//!
+//! The decoder "writes only once to an address in each frame", so
+//! `CTR_IN ‖ F` (bitstream counter ‖ display frame number) is a valid VN
+//! for writing frame `F`, and the inter-prediction unit regenerates
+//! reference VNs from the current frame number and the GOP structure —
+//! `F − 2` for P frames, `F − 1`/`F + 1` for B frames in the IBPB pattern.
+
+use mgx_core::counter::{tagged_vn, StreamTag};
+
+/// On-chip video VN state: a single bitstream counter.
+#[derive(Debug, Clone, Default)]
+pub struct VideoVnState {
+    ctr_in: u64,
+}
+
+impl VideoVnState {
+    /// Fresh state (no bitstream loaded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A new input bitstream was loaded: `CTR_IN` increments so frame
+    /// numbers can restart without reusing counters.
+    pub fn begin_bitstream(&mut self) {
+        self.ctr_in += 1;
+    }
+
+    /// Current bitstream counter.
+    pub fn bitstream(&self) -> u64 {
+        self.ctr_in
+    }
+
+    /// Tagged VN for writing (or reading back) display frame `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bitstream has been started.
+    pub fn frame_vn(&self, f: u64) -> u64 {
+        assert!(self.ctr_in > 0, "begin_bitstream must run first");
+        debug_assert!(f < (1 << 32), "frame number overflows the VN layout");
+        tagged_vn(StreamTag::Features, (self.ctr_in << 32) | f)
+    }
+
+    /// Tagged VN for the (read-only) encrypted input bitstream.
+    pub fn bitstream_vn(&self) -> u64 {
+        assert!(self.ctr_in > 0, "begin_bitstream must run first");
+        tagged_vn(StreamTag::Weights, self.ctr_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_vns_differ_per_frame_and_bitstream() {
+        let mut v = VideoVnState::new();
+        v.begin_bitstream();
+        let f0 = v.frame_vn(0);
+        let f1 = v.frame_vn(1);
+        assert_ne!(f0, f1);
+        v.begin_bitstream();
+        assert_ne!(v.frame_vn(0), f0, "same frame number, new bitstream");
+    }
+
+    #[test]
+    fn read_vn_equals_write_vn_for_the_same_frame() {
+        let mut v = VideoVnState::new();
+        v.begin_bitstream();
+        // P frame 2 reads frame 0: the regenerated VN must equal the VN
+        // frame 0 was written with.
+        assert_eq!(v.frame_vn(2 - 2), v.frame_vn(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_bitstream")]
+    fn vn_before_bitstream_panics() {
+        let v = VideoVnState::new();
+        let _ = v.frame_vn(0);
+    }
+
+    #[test]
+    fn bitstream_vn_uses_a_different_stream_tag() {
+        let mut v = VideoVnState::new();
+        v.begin_bitstream();
+        assert_ne!(v.bitstream_vn(), v.frame_vn(1));
+    }
+}

@@ -1,0 +1,111 @@
+//! Accelerator array configurations.
+
+/// Systolic-array geometry, clocks, and on-chip buffer sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayConfig {
+    /// PE rows (the reduction dimension streams down rows under WS).
+    pub rows: u64,
+    /// PE columns.
+    pub cols: u64,
+    /// Accelerator clock in MHz.
+    pub freq_mhz: u64,
+    /// Input-feature SRAM bytes.
+    pub ifmap_sram_bytes: u64,
+    /// Weight SRAM bytes.
+    pub filter_sram_bytes: u64,
+    /// Output/accumulator SRAM bytes.
+    pub ofmap_sram_bytes: u64,
+    /// Bytes per operand element (1 = int8 inference, 2 = fp16 training).
+    pub dtype_bytes: u64,
+    /// Bytes per partial-sum accumulator element.
+    pub acc_bytes: u64,
+}
+
+impl ArrayConfig {
+    /// The paper's *Cloud* configuration: modeled on Google TPU-v1
+    /// (§VI-A): 256×256 = 64 K MACs, 24 MB of on-chip memory, 700 MHz.
+    pub fn cloud() -> Self {
+        Self {
+            rows: 256,
+            cols: 256,
+            freq_mhz: 700,
+            ifmap_sram_bytes: 8 << 20,
+            filter_sram_bytes: 8 << 20,
+            ofmap_sram_bytes: 8 << 20,
+            dtype_bytes: 1,
+            acc_bytes: 4,
+        }
+    }
+
+    /// The paper's *Edge* configuration: modeled on the Samsung mobile NPU
+    /// (§VI-A): 32×32 = 1 K MACs, 4.5 MB of on-chip memory, 900 MHz.
+    pub fn edge() -> Self {
+        Self {
+            rows: 32,
+            cols: 32,
+            freq_mhz: 900,
+            ifmap_sram_bytes: 1_572_864, // 1.5 MB
+            filter_sram_bytes: 1_572_864,
+            ofmap_sram_bytes: 1_572_864,
+            dtype_bytes: 1,
+            acc_bytes: 4,
+        }
+    }
+
+    /// Same geometry with a different operand width (training uses fp16).
+    pub fn with_dtype_bytes(mut self, dtype_bytes: u64) -> Self {
+        self.dtype_bytes = dtype_bytes;
+        self
+    }
+
+    /// Total MAC units.
+    pub fn pe_count(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Total on-chip SRAM bytes.
+    pub fn sram_bytes(&self) -> u64 {
+        self.ifmap_sram_bytes + self.filter_sram_bytes + self.ofmap_sram_bytes
+    }
+
+    /// Peak MACs per second.
+    pub fn peak_macs_per_s(&self) -> f64 {
+        self.pe_count() as f64 * self.freq_mhz as f64 * 1e6
+    }
+}
+
+/// Mapping of a GEMM onto the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Weights pinned in PEs; inputs stream through (TPU-style). Partial
+    /// sums may spill if the reduction dimension folds and the accumulator
+    /// SRAM is too small — which is where the paper's `t` writes-per-output
+    /// and the VN-increment-per-tile behaviour (Fig 7) come from.
+    WeightStationary,
+    /// Outputs pinned in PEs; both operands stream. Never spills partials.
+    OutputStationary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        let c = ArrayConfig::cloud();
+        assert_eq!(c.pe_count(), 65_536);
+        assert_eq!(c.sram_bytes(), 24 << 20);
+        let e = ArrayConfig::edge();
+        assert_eq!(e.pe_count(), 1_024);
+        assert_eq!(e.sram_bytes(), 4_718_592);
+        // 64 K PEs @ 700 MHz vs 1 K PEs @ 900 MHz ≈ 50×.
+        assert!(c.peak_macs_per_s() > 40.0 * e.peak_macs_per_s());
+    }
+
+    #[test]
+    fn dtype_override() {
+        let c = ArrayConfig::cloud().with_dtype_bytes(2);
+        assert_eq!(c.dtype_bytes, 2);
+        assert_eq!(c.rows, 256);
+    }
+}

@@ -1,0 +1,147 @@
+//! DNN experiments: Figs 3, 12, 13.
+
+use super::Evaluated;
+use crate::pipeline::{simulate, SimConfig};
+use crate::report::Figure;
+use crate::scale::Scale;
+use mgx_core::Scheme;
+use mgx_dnn::trace::{build_inference_trace, build_training_trace};
+use mgx_dnn::Model;
+use mgx_scalesim::{ArrayConfig, Dataflow};
+
+/// The two accelerator setups of §VI-A.
+pub fn setups() -> Vec<(&'static str, ArrayConfig, SimConfig)> {
+    vec![
+        ("Cloud", ArrayConfig::cloud(), SimConfig::overlapped(4, 700)),
+        ("Edge", ArrayConfig::edge(), SimConfig::overlapped(1, 900)),
+    ]
+}
+
+fn evaluate(models: Vec<Model>, scale: &Scale, training: bool) -> Vec<Evaluated> {
+    let mut out = Vec::new();
+    for model in &models {
+        for (name, acfg, scfg) in setups() {
+            let trace = if training {
+                build_training_trace(model, &acfg, Dataflow::WeightStationary)
+            } else {
+                build_inference_trace(model, &acfg, Dataflow::WeightStationary)
+            };
+            let results =
+                Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
+            out.push(Evaluated {
+                workload: model.name.to_string(),
+                config: name.to_string(),
+                results,
+            });
+        }
+    }
+    let _ = scale;
+    out
+}
+
+/// Simulates the inference suite (VGG, AlexNet, GoogLeNet, ResNet, BERT,
+/// DLRM) on Cloud and Edge under all schemes.
+pub fn evaluate_inference(scale: &Scale) -> Vec<Evaluated> {
+    let mut models = vec![
+        Model::vgg16(scale.dnn_batch),
+        Model::alexnet(scale.dnn_batch),
+        Model::googlenet(scale.dnn_batch),
+        Model::resnet50(scale.dnn_batch),
+        Model::bert_base(scale.dnn_batch, scale.bert_seq),
+        Model::dlrm(scale.dnn_batch * 16),
+    ];
+    // DLRM embedding tables must fit the protected capacity at any scale.
+    models.truncate(6);
+    evaluate(models, scale, false)
+}
+
+/// Simulates the training suite (no DLRM, as in the paper).
+pub fn evaluate_training(scale: &Scale) -> Vec<Evaluated> {
+    let models = vec![
+        Model::vgg16(scale.dnn_batch),
+        Model::alexnet(scale.dnn_batch),
+        Model::googlenet(scale.dnn_batch),
+        Model::resnet50(scale.dnn_batch),
+        Model::bert_base(scale.dnn_batch, scale.bert_seq),
+    ];
+    evaluate(models, scale, true)
+}
+
+/// Fig 12a/12b: memory-traffic increase of MGX and BP.
+pub fn fig12(evals: &[Evaluated], training: bool) -> Figure {
+    Figure {
+        id: if training { "fig12b" } else { "fig12a" },
+        title: format!(
+            "DNN {} memory-traffic increase (MGX vs BP, Cloud & Edge)",
+            if training { "training" } else { "inference" }
+        ),
+        rows: evals.iter().flat_map(|e| e.rows(&[Scheme::Mgx, Scheme::Baseline])).collect(),
+    }
+}
+
+/// Fig 13a/13b: normalized execution time of MGX and its ablations.
+pub fn fig13(evals: &[Evaluated], training: bool) -> Figure {
+    Figure {
+        id: if training { "fig13b" } else { "fig13a" },
+        title: format!(
+            "DNN {} normalized execution time (MGX, MGX_VN, MGX_MAC, BP)",
+            if training { "training" } else { "inference" }
+        ),
+        rows: evals
+            .iter()
+            .flat_map(|e| {
+                e.rows(&[Scheme::Mgx, Scheme::MgxVn, Scheme::MgxMac, Scheme::Baseline])
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single small model through the whole pipeline (smoke test — the
+    /// full suites run in the benches/binary at release speed).
+    #[test]
+    fn alexnet_cloud_shapes_hold() {
+        let model = Model::alexnet(1);
+        let (_, acfg, scfg) = setups().remove(0);
+        let trace = build_inference_trace(&model, &acfg, Dataflow::WeightStationary);
+        let np = simulate(&trace, Scheme::NoProtection, &scfg);
+        let bp = simulate(&trace, Scheme::Baseline, &scfg);
+        let mgx = simulate(&trace, Scheme::Mgx, &scfg);
+        let bp_traffic = bp.total_bytes() as f64 / np.total_bytes() as f64;
+        let mgx_traffic = mgx.total_bytes() as f64 / np.total_bytes() as f64;
+        assert!(
+            (1.15..1.60).contains(&bp_traffic),
+            "BP traffic increase {bp_traffic:.3} out of the paper's band"
+        );
+        assert!(
+            (1.005..1.08).contains(&mgx_traffic),
+            "MGX traffic increase {mgx_traffic:.3} should be near zero"
+        );
+        let bp_time = bp.dram_cycles as f64 / np.dram_cycles as f64;
+        let mgx_time = mgx.dram_cycles as f64 / np.dram_cycles as f64;
+        assert!(bp_time > 1.05, "BP must slow AlexNet visibly, got {bp_time:.3}");
+        assert!(mgx_time < 1.05, "MGX must stay near zero, got {mgx_time:.3}");
+        assert!(mgx_time < bp_time);
+    }
+
+    #[test]
+    fn fig_builders_slice_schemes() {
+        let model = Model::alexnet(1);
+        let (_, acfg, scfg) = setups().remove(1);
+        let trace = build_inference_trace(&model, &acfg, Dataflow::WeightStationary);
+        let results = Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
+        let evals = vec![Evaluated {
+            workload: "AlexNet".into(),
+            config: "Edge".into(),
+            results,
+        }];
+        let f12 = fig12(&evals, false);
+        assert_eq!(f12.rows.len(), 2);
+        let f13 = fig13(&evals, false);
+        assert_eq!(f13.rows.len(), 4);
+        assert!(f13.rows.iter().all(|r| r.normalized_time >= 1.0));
+    }
+}

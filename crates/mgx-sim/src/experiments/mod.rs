@@ -1,0 +1,206 @@
+//! The experiment registry: one function per paper table/figure.
+//!
+//! Workloads are simulated once across all five schemes
+//! ([`Evaluated`]) and the figures slice those results, so regenerating
+//! Fig 12 and Fig 13 costs one simulation pass, not two.
+
+pub mod dnn;
+pub mod sensitivity;
+pub mod genome;
+pub mod graph;
+pub mod video;
+
+use crate::pipeline::RunResult;
+use crate::report::{Figure, Row};
+use mgx_core::Scheme;
+
+/// One workload simulated under every scheme (in [`Scheme::ALL`] order).
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// Workload label.
+    pub workload: String,
+    /// Configuration label (`"Cloud"`, `"Edge"`, or empty).
+    pub config: String,
+    /// Results in [`Scheme::ALL`] order (`NP` first).
+    pub results: Vec<RunResult>,
+}
+
+impl Evaluated {
+    /// The no-protection baseline run.
+    pub fn np(&self) -> &RunResult {
+        &self.results[0]
+    }
+
+    /// The run for `scheme`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme was not simulated.
+    pub fn of(&self, scheme: Scheme) -> &RunResult {
+        self.results
+            .iter()
+            .find(|r| r.scheme == scheme)
+            .expect("scheme missing from evaluation")
+    }
+
+    /// Builds figure rows for the given schemes.
+    pub fn rows(&self, schemes: &[Scheme]) -> Vec<Row> {
+        let np_bytes = self.np().total_bytes().max(1) as f64;
+        let np_cycles = self.np().dram_cycles.max(1) as f64;
+        schemes
+            .iter()
+            .map(|&s| {
+                let r = self.of(s);
+                Row {
+                    workload: self.workload.clone(),
+                    config: self.config.clone(),
+                    scheme: s,
+                    traffic_increase: r.total_bytes() as f64 / np_bytes,
+                    normalized_time: r.dram_cycles as f64 / np_cycles,
+                    mac_overhead: r.traffic.mac_overhead(),
+                    vn_overhead: r.traffic.vn_overhead(),
+                }
+            })
+            .collect()
+    }
+}
+
+fn collect_rows(evals: &[Evaluated], schemes: &[Scheme]) -> Vec<Row> {
+    evals.iter().flat_map(|e| e.rows(schemes)).collect()
+}
+
+/// Fig 3: memory-traffic overhead breakdown (MAC vs VN) of the traditional
+/// protection scheme across all 23 workloads.
+pub fn fig3(
+    dnn_inference: &[Evaluated],
+    dnn_training: &[Evaluated],
+    graphs: &[Evaluated],
+) -> Figure {
+    let mut rows = Vec::new();
+    for (evals, suffix) in [(dnn_inference, "-Inf"), (dnn_training, "-Train")] {
+        for e in evals.iter().filter(|e| e.config == "Cloud") {
+            let mut r = e.rows(&[Scheme::Baseline]);
+            for row in &mut r {
+                row.workload = format!("{}{}", e.workload, suffix);
+            }
+            rows.extend(r);
+        }
+    }
+    rows.extend(collect_rows(graphs, &[Scheme::Baseline]));
+    Figure {
+        id: "fig3",
+        title: "Traffic overhead of traditional protection (MAC vs VN breakdown)".into(),
+        rows,
+    }
+}
+
+/// A paper-claim vs measured-value line of the summary table.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// What is being compared.
+    pub metric: String,
+    /// The paper's number.
+    pub paper: f64,
+    /// Our measured number.
+    pub measured: f64,
+}
+
+impl Claim {
+    /// Relative error |measured − paper| / paper.
+    pub fn rel_err(&self) -> f64 {
+        (self.measured - self.paper).abs() / self.paper.abs().max(1e-12)
+    }
+}
+
+/// The headline comparisons (§I / §IX): average protection overheads.
+pub fn summary_claims(
+    dnn_inference: &[Evaluated],
+    dnn_training: &[Evaluated],
+    graphs: &[Evaluated],
+) -> Vec<Claim> {
+    let mean = |evals: &[Evaluated], scheme: Scheme, f: &dyn Fn(&Evaluated) -> f64| -> f64 {
+        if evals.is_empty() {
+            return 0.0;
+        }
+        evals.iter().map(f).sum::<f64>() / evals.len() as f64
+            * if scheme == Scheme::NoProtection { 0.0 } else { 1.0 }
+    };
+    let time = |scheme: Scheme| {
+        move |e: &Evaluated| e.of(scheme).dram_cycles as f64 / e.np().dram_cycles.max(1) as f64
+    };
+    let traffic = |scheme: Scheme| {
+        move |e: &Evaluated| e.of(scheme).total_bytes() as f64 / e.np().total_bytes().max(1) as f64
+    };
+    let both: Vec<Evaluated> = graphs.to_vec();
+    vec![
+        Claim {
+            metric: "DNN inference MGX exec overhead".into(),
+            paper: 1.032,
+            measured: mean(dnn_inference, Scheme::Mgx, &time(Scheme::Mgx)),
+        },
+        Claim {
+            metric: "DNN training MGX exec overhead".into(),
+            paper: 1.047,
+            measured: mean(dnn_training, Scheme::Mgx, &time(Scheme::Mgx)),
+        },
+        Claim {
+            metric: "DNN inference BP exec overhead".into(),
+            paper: 1.24,
+            measured: mean(dnn_inference, Scheme::Baseline, &time(Scheme::Baseline)),
+        },
+        Claim {
+            metric: "Graph BP exec overhead (PR+BFS avg)".into(),
+            paper: 1.327,
+            measured: mean(&both, Scheme::Baseline, &time(Scheme::Baseline)),
+        },
+        Claim {
+            metric: "Graph MGX exec overhead (PR+BFS avg)".into(),
+            paper: 1.05,
+            measured: mean(&both, Scheme::Mgx, &time(Scheme::Mgx)),
+        },
+        Claim {
+            metric: "DNN inference BP traffic increase".into(),
+            paper: 1.36,
+            measured: mean(dnn_inference, Scheme::Baseline, &traffic(Scheme::Baseline)),
+        },
+        Claim {
+            metric: "DNN inference MGX traffic increase".into(),
+            paper: 1.024,
+            measured: mean(dnn_inference, Scheme::Mgx, &traffic(Scheme::Mgx)),
+        },
+        Claim {
+            metric: "Graph BP traffic increase (PR avg)".into(),
+            paper: 1.263,
+            measured: mean(
+                &both.iter().filter(|e| e.workload.starts_with("PR")).cloned().collect::<Vec<_>>(),
+                Scheme::Baseline,
+                &traffic(Scheme::Baseline),
+            ),
+        },
+        Claim {
+            metric: "Graph MGX traffic increase (PR avg)".into(),
+            paper: 1.015,
+            measured: mean(
+                &both.iter().filter(|e| e.workload.starts_with("PR")).cloned().collect::<Vec<_>>(),
+                Scheme::Mgx,
+                &traffic(Scheme::Mgx),
+            ),
+        },
+    ]
+}
+
+/// Renders the summary claims as a text table.
+pub fn render_claims(claims: &[Claim]) -> String {
+    let mut out = String::from("## summary — paper vs measured\n");
+    out.push_str(&format!("{:<42} {:>8} {:>10} {:>8}\n", "metric", "paper", "measured", "err%"));
+    for c in claims {
+        out.push_str(&format!(
+            "{:<42} {:>8.3} {:>10.3} {:>8.1}\n",
+            c.metric,
+            c.paper,
+            c.measured,
+            c.rel_err() * 100.0
+        ));
+    }
+    out
+}

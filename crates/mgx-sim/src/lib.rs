@@ -1,0 +1,25 @@
+//! End-to-end evaluation pipeline (paper Fig 11) and the experiment
+//! registry that regenerates every table and figure.
+//!
+//! The pipeline chains the workspace: an accelerator model emits a
+//! [`mgx_trace::Trace`]; a [`mgx_core::ProtectionEngine`] expands it into
+//! data + metadata DRAM transactions; [`mgx_dram::DramSim`] assigns them
+//! time; and [`pipeline::simulate`] folds everything into execution time and
+//! traffic per scheme.
+//!
+//! Each paper figure is one function in [`experiments`] returning a
+//! [`report::Figure`] whose rows can be printed ([`report::render`]) or
+//! checked programmatically (the `mgx-bench` crate's `figures` binary and
+//! the integration tests do both).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+pub mod scale;
+
+pub use pipeline::{simulate, PhaseMode, RunResult, SimConfig};
+pub use report::{render, render_json, Figure, Row};
+pub use scale::Scale;

@@ -1,0 +1,298 @@
+//! Trace → protection → DRAM → execution-time simulation.
+
+use mgx_core::{scheme_engine, MetaTraffic, ProtectionConfig, Scheme};
+use mgx_dram::{DramConfig, DramSim, DramStats};
+use mgx_trace::Trace;
+
+/// How a phase's compute and memory relate in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseMode {
+    /// Double-buffered: phase time = max(compute, memory). DNN and graph
+    /// accelerators prefetch the next tile while computing (§VI-A).
+    Overlapped,
+    /// Fetch-then-compute across `units` parallel engines sharing the DRAM:
+    /// unit time = memory + compute (GACT arrays stall on their chunk
+    /// loads, §VII-A). Phases are dispatched to the earliest-idle unit.
+    Serial {
+        /// Number of parallel engines (e.g. 64 GACT arrays).
+        units: u64,
+    },
+}
+
+/// Everything the simulator needs besides the trace.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// DRAM channel configuration.
+    pub dram: DramConfig,
+    /// Accelerator clock in MHz (phases carry cycles at this clock).
+    pub accel_freq_mhz: u64,
+    /// Phase combination mode.
+    pub mode: PhaseMode,
+    /// Protection parameters (granularities, protected capacity).
+    pub protection: ProtectionConfig,
+}
+
+impl SimConfig {
+    /// Overlapped pipeline on `channels` DDR4-2400 channels.
+    pub fn overlapped(channels: usize, accel_freq_mhz: u64) -> Self {
+        Self {
+            dram: DramConfig::ddr4_2400(channels),
+            accel_freq_mhz,
+            mode: PhaseMode::Overlapped,
+            protection: ProtectionConfig::default(),
+        }
+    }
+}
+
+/// Result of simulating one trace under one scheme.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme simulated.
+    pub scheme: Scheme,
+    /// Execution time in DRAM-clock cycles.
+    pub dram_cycles: u64,
+    /// Execution time in nanoseconds.
+    pub exec_ns: f64,
+    /// Traffic breakdown (data vs VN/tree/MAC).
+    pub traffic: MetaTraffic,
+    /// DRAM behaviour (row hits, latency, …).
+    pub dram: DramStats,
+}
+
+impl RunResult {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.traffic.total_bytes()
+    }
+}
+
+/// Simulates `trace` under `scheme`, returning time and traffic.
+pub fn simulate(trace: &Trace, scheme: Scheme, cfg: &SimConfig) -> RunResult {
+    let mut engine = scheme_engine(scheme, &trace.regions, &cfg.protection);
+    let mut dram = DramSim::new(cfg.dram);
+    // Convert accelerator cycles to DRAM cycles without losing precision.
+    let to_dram =
+        |cycles: u64| -> u64 { (cycles as u128 * cfg.dram.freq_mhz as u128 / cfg.accel_freq_mhz as u128) as u64 };
+
+    let end = match cfg.mode {
+        PhaseMode::Overlapped => {
+            let mut now = 0u64;
+            let mut txns = Vec::new();
+            for phase in &trace.phases {
+                let compute = to_dram(phase.compute_cycles);
+                txns.clear();
+                for req in &phase.requests {
+                    engine.expand(req, &mut |txn| txns.push(txn));
+                }
+                let mem_done = issue_batched(&mut dram, now, &txns);
+                now += compute.max(mem_done - now);
+            }
+            now
+        }
+        PhaseMode::Serial { units } => {
+            let units = units.max(1) as usize;
+            // Stagger unit start times across one average tile so the
+            // engines pipeline instead of issuing convoys in lockstep
+            // (tiles are dispatched one by one by the front-end).
+            let avg_compute = to_dram(
+                trace.phases.iter().map(|p| p.compute_cycles).sum::<u64>()
+                    / trace.phases.len().max(1) as u64,
+            );
+            let mut clocks: Vec<u64> =
+                (0..units).map(|u| u as u64 * avg_compute / units as u64).collect();
+            let mut txns = Vec::new();
+            for phase in &trace.phases {
+                // Work-conserving dispatch: the next tile goes to the first
+                // idle unit. This also keeps DRAM arrival times monotone,
+                // which the bank/bus timing model requires.
+                let u = (0..units).min_by_key(|&u| clocks[u]).expect("units > 0");
+                let start = clocks[u];
+                txns.clear();
+                for req in &phase.requests {
+                    engine.expand(req, &mut |txn| txns.push(txn));
+                }
+                let mem_done = issue_batched(&mut dram, start, &txns);
+                clocks[u] = mem_done + to_dram(phase.compute_cycles);
+            }
+            clocks.into_iter().max().unwrap_or(0)
+        }
+    };
+
+    // Residual dirty metadata drains at the end of the run.
+    let mut final_done = end;
+    engine.flush(&mut |txn| {
+        final_done = final_done.max(dram.access(end, txn.addr, txn.dir));
+    });
+
+    RunResult {
+        scheme,
+        dram_cycles: final_done,
+        exec_ns: final_done as f64 * 1000.0 / cfg.dram.freq_mhz as f64,
+        traffic: engine.traffic(),
+        dram: dram.stats(),
+    }
+}
+
+/// Issues a phase's transactions with the read queue drained before the
+/// write queue (what a real controller does to amortize bus turnarounds —
+/// fine-grained R/W interleaving would otherwise pay tWTR/tRTW per line).
+/// Returns the completion cycle of the last transaction.
+fn issue_batched(dram: &mut DramSim, start: u64, txns: &[mgx_core::LineTxn]) -> u64 {
+    let mut done = start;
+    for t in txns.iter().filter(|t| t.dir.is_read()) {
+        done = done.max(dram.access(start, t.addr, t.dir));
+    }
+    for t in txns.iter().filter(|t| !t.dir.is_read()) {
+        done = done.max(dram.access(start, t.addr, t.dir));
+    }
+    done
+}
+
+/// Runs all five schemes over a trace, returning results in
+/// [`Scheme::ALL`] order.
+pub fn simulate_all(trace: &Trace, cfg: &SimConfig) -> Vec<RunResult> {
+    Scheme::ALL.iter().map(|&s| simulate(trace, s, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgx_trace::{DataClass, MemRequest, TraceBuilder};
+
+    /// A streaming workload big enough to exercise the metadata paths:
+    /// 64 KiB double-buffered tiles (accelerator-realistic granularity).
+    fn stream_trace(mib: u64, write_fraction_pct: u64) -> Trace {
+        const TILE: u64 = 64 << 10;
+        let mut b = TraceBuilder::new();
+        let r = b.regions_mut().alloc("buf", mib << 20, DataClass::Feature);
+        let base = b.regions().get(r).base;
+        for i in 0..(mib << 20) / TILE {
+            b.begin_phase(format!("p{i}"), 0); // pure streaming: memory-bound
+            let addr = base + i * TILE;
+            if i % 4 < write_fraction_pct / 25 {
+                b.push(MemRequest::write(r, addr, TILE));
+            } else {
+                b.push(MemRequest::read(r, addr, TILE));
+            }
+        }
+        b.finish()
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::overlapped(4, 700)
+    }
+
+    #[test]
+    fn scheme_ordering_matches_the_paper() {
+        // NP < MGX < MGX_VN < MGX_MAC < BP in execution time for a
+        // memory-bound streaming workload.
+        let trace = stream_trace(8, 25);
+        let results = simulate_all(&trace, &cfg());
+        let t: Vec<u64> = results.iter().map(|r| r.dram_cycles).collect();
+        let labels: Vec<&str> = results.iter().map(|r| r.scheme.label()).collect();
+        assert_eq!(labels, vec!["NP", "BP", "MGX", "MGX_VN", "MGX_MAC"]);
+        let (np, bp, mgx, mgx_vn, mgx_mac) = (t[0], t[1], t[2], t[3], t[4]);
+        assert!(np < mgx, "protection cannot be free");
+        assert!(mgx < mgx_vn, "coarse MACs beat fine MACs");
+        assert!(mgx_vn < mgx_mac, "removing VNs helps more than coarsening MACs");
+        assert!(mgx_mac < bp, "BP pays for both");
+    }
+
+    #[test]
+    fn mgx_overhead_is_near_zero_bp_is_not() {
+        let trace = stream_trace(8, 25);
+        let results = simulate_all(&trace, &cfg());
+        let np = results[0].dram_cycles as f64;
+        let bp = results[1].dram_cycles as f64 / np;
+        let mgx = results[2].dram_cycles as f64 / np;
+        assert!(mgx < 1.06, "MGX slowdown {mgx:.3} should be near zero");
+        assert!(bp > 1.15, "BP slowdown {bp:.3} should be large");
+    }
+
+    #[test]
+    fn np_time_tracks_raw_bandwidth() {
+        let trace = stream_trace(4, 0);
+        let r = simulate(&trace, Scheme::NoProtection, &cfg());
+        let ideal = (4u64 << 20) as f64 / cfg().dram.peak_bytes_per_cycle();
+        assert!(
+            (r.dram_cycles as f64) < 1.3 * ideal,
+            "NP streaming should run near peak: {} vs ideal {ideal}",
+            r.dram_cycles
+        );
+    }
+
+    #[test]
+    fn compute_bound_traces_hide_all_protection() {
+        // Huge compute per phase: even BP's metadata fits under the compute.
+        let mut b = TraceBuilder::new();
+        let r = b.regions_mut().alloc("buf", 1 << 20, DataClass::Feature);
+        let base = b.regions().get(r).base;
+        for i in 0..64u64 {
+            b.begin_phase(format!("p{i}"), 1_000_000);
+            b.push(MemRequest::read(r, base + i * 4096, 4096));
+        }
+        let trace = b.finish();
+        let results = simulate_all(&trace, &cfg());
+        let np = results[0].dram_cycles;
+        let bp = results[1].dram_cycles;
+        assert!(
+            (bp as f64) < 1.001 * np as f64,
+            "fully compute-bound: BP {bp} vs NP {np}"
+        );
+    }
+
+    #[test]
+    fn serial_mode_sums_fetch_and_compute() {
+        let mut b = TraceBuilder::new();
+        let r = b.regions_mut().alloc("buf", 1 << 20, DataClass::Reference);
+        let base = b.regions().get(r).base;
+        b.begin_phase("tile", 7000); // 7000 accel cycles @700MHz = 12000 DRAM cycles
+        b.push(MemRequest::read(r, base, 4096));
+        let trace = b.finish();
+        let overlapped = simulate(
+            &trace,
+            Scheme::NoProtection,
+            &SimConfig { mode: PhaseMode::Overlapped, ..cfg() },
+        );
+        let serial = simulate(
+            &trace,
+            Scheme::NoProtection,
+            &SimConfig { mode: PhaseMode::Serial { units: 1 }, ..cfg() },
+        );
+        assert!(serial.dram_cycles > overlapped.dram_cycles);
+    }
+
+    #[test]
+    fn serial_units_scale_throughput() {
+        let mut b = TraceBuilder::new();
+        let r = b.regions_mut().alloc("buf", 16 << 20, DataClass::Reference);
+        let base = b.regions().get(r).base;
+        for i in 0..256u64 {
+            b.begin_phase(format!("t{i}"), 20_000);
+            b.push(MemRequest::read(r, base + i * 4096, 4096));
+        }
+        let trace = b.finish();
+        let one = simulate(
+            &trace,
+            Scheme::NoProtection,
+            &SimConfig { mode: PhaseMode::Serial { units: 1 }, ..cfg() },
+        );
+        let many = simulate(
+            &trace,
+            Scheme::NoProtection,
+            &SimConfig { mode: PhaseMode::Serial { units: 64 }, ..cfg() },
+        );
+        let speedup = one.dram_cycles as f64 / many.dram_cycles as f64;
+        assert!(speedup > 30.0, "64 compute-bound units speed up ~64×, got {speedup:.1}");
+    }
+
+    #[test]
+    fn traffic_equals_np_data_plus_metadata() {
+        let trace = stream_trace(2, 50);
+        let np = simulate(&trace, Scheme::NoProtection, &cfg());
+        let bp = simulate(&trace, Scheme::Baseline, &cfg());
+        assert_eq!(np.traffic.data, bp.traffic.data, "data traffic is scheme-independent");
+        assert_eq!(np.traffic.meta_bytes(), 0);
+        assert!(bp.traffic.meta_bytes() > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Coarse-grained memory requests emitted by accelerator models.
+
+use crate::RegionId;
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// DRAM → accelerator.
+    Read,
+    /// Accelerator → DRAM.
+    Write,
+}
+
+impl Dir {
+    /// `true` for [`Dir::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, Dir::Read)
+    }
+}
+
+/// One application-level data movement: a contiguous byte range moved
+/// between on-chip buffers and DRAM.
+///
+/// Accelerators move data at tile granularity (hundreds of bytes to
+/// megabytes), which is exactly the property MGX exploits to coarsen MAC
+/// granularity (paper §III-B). The protection engine later decomposes each
+/// request into 64-byte DRAM transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Start physical address.
+    pub addr: u64,
+    /// Length in bytes (> 0).
+    pub bytes: u64,
+    /// Read or write.
+    pub dir: Dir,
+    /// The region this access belongs to.
+    pub region: RegionId,
+}
+
+impl MemRequest {
+    /// Convenience constructor for a read.
+    pub fn read(region: RegionId, addr: u64, bytes: u64) -> Self {
+        Self { addr, bytes, dir: Dir::Read, region }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(region: RegionId, addr: u64, bytes: u64) -> Self {
+        Self { addr, bytes, dir: Dir::Write, region }
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.addr + self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction() {
+        let r = MemRequest::read(RegionId(0), 0x100, 512);
+        assert!(r.dir.is_read());
+        let w = MemRequest::write(RegionId(1), 0x100, 512);
+        assert!(!w.dir.is_read());
+        assert_eq!(w.end(), 0x100 + 512);
+    }
+}

@@ -1,0 +1,140 @@
+//! Trace analysis: traffic broken down by region and data class.
+//!
+//! Downstream users sizing protection policies want to know *where* a
+//! workload's bytes go — e.g. how much of DLRM's traffic is random
+//! embedding gathers (which must keep fine-grained MACs) versus streamed
+//! MLP weights (which coarsen freely).
+
+use crate::{DataClass, RegionId, Trace, Traffic};
+use std::collections::BTreeMap;
+
+/// Traffic aggregated per data class and per region.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Per-class byte counters (sorted map for stable reports).
+    pub by_class: BTreeMap<&'static str, Traffic>,
+    /// Per-region byte counters and names.
+    pub by_region: Vec<(RegionId, String, Traffic)>,
+    /// Total requests seen.
+    pub requests: usize,
+    /// Mean request size in bytes.
+    pub mean_request_bytes: f64,
+}
+
+fn class_name(c: DataClass) -> &'static str {
+    match c {
+        DataClass::Feature => "feature",
+        DataClass::Weight => "weight",
+        DataClass::Gradient => "gradient",
+        DataClass::Embedding => "embedding",
+        DataClass::Adjacency => "adjacency",
+        DataClass::VertexAttr => "vertex-attr",
+        DataClass::Reference => "reference",
+        DataClass::Query => "query",
+        DataClass::Traceback => "traceback",
+        DataClass::Frame => "frame",
+        DataClass::Bitstream => "bitstream",
+        DataClass::Other => "other",
+    }
+}
+
+impl TraceStats {
+    /// Analyzes a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut by_class: BTreeMap<&'static str, Traffic> = BTreeMap::new();
+        let mut by_region: Vec<(RegionId, String, Traffic)> = trace
+            .regions
+            .iter()
+            .map(|(id, r)| (id, r.name.clone(), Traffic::default()))
+            .collect();
+        let mut requests = 0usize;
+        let mut bytes = 0u64;
+        for phase in &trace.phases {
+            for req in &phase.requests {
+                requests += 1;
+                bytes += req.bytes;
+                let class = trace.regions.get(req.region).class;
+                by_class.entry(class_name(class)).or_default().add(req.dir, req.bytes);
+                by_region[req.region.0 as usize].2.add(req.dir, req.bytes);
+            }
+        }
+        Self {
+            by_class,
+            by_region,
+            requests,
+            mean_request_bytes: if requests == 0 { 0.0 } else { bytes as f64 / requests as f64 },
+        }
+    }
+
+    /// Regions that were never touched (often a model bug).
+    pub fn untouched_regions(&self) -> impl Iterator<Item = &(RegionId, String, Traffic)> {
+        self.by_region.iter().filter(|(_, _, t)| t.total() == 0)
+    }
+
+    /// Renders a compact text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} requests, mean {:.0} B/request\n",
+            self.requests, self.mean_request_bytes
+        ));
+        out.push_str(&format!("{:<12} {:>14} {:>14}\n", "class", "read MiB", "write MiB"));
+        for (class, t) in &self.by_class {
+            out.push_str(&format!(
+                "{:<12} {:>14.2} {:>14.2}\n",
+                class,
+                t.read_bytes as f64 / (1 << 20) as f64,
+                t.write_bytes as f64 / (1 << 20) as f64
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemRequest, TraceBuilder};
+
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let w = b.regions_mut().alloc("w", 1 << 20, DataClass::Weight);
+        let f = b.regions_mut().alloc("f", 1 << 20, DataClass::Feature);
+        let unused = b.regions_mut().alloc("spare", 4096, DataClass::Other);
+        let _ = unused;
+        let (wb, fb) = (b.regions().get(w).base, b.regions().get(f).base);
+        b.begin_phase("p", 10);
+        b.push(MemRequest::read(w, wb, 4096));
+        b.push(MemRequest::read(f, fb, 1024));
+        b.push(MemRequest::write(f, fb, 2048));
+        b.finish()
+    }
+
+    #[test]
+    fn class_and_region_totals_agree() {
+        let t = trace();
+        let s = TraceStats::of(&t);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.by_class["weight"].read_bytes, 4096);
+        assert_eq!(s.by_class["feature"].read_bytes, 1024);
+        assert_eq!(s.by_class["feature"].write_bytes, 2048);
+        let total_by_region: u64 = s.by_region.iter().map(|(_, _, t)| t.total()).sum();
+        assert_eq!(total_by_region, t.traffic().total());
+        assert!((s.mean_request_bytes - (4096.0 + 1024.0 + 2048.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untouched_regions_are_reported() {
+        let s = TraceStats::of(&trace());
+        let names: Vec<&str> = s.untouched_regions().map(|(_, n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["spare"]);
+    }
+
+    #[test]
+    fn render_lists_each_class_once() {
+        let s = TraceStats::of(&trace());
+        let text = s.render();
+        assert_eq!(text.matches("weight").count(), 1);
+        assert!(text.contains("3 requests"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Phases and whole-application traces.
+
+use crate::{Dir, MemRequest, RegionMap};
+
+/// Byte counters split by direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Bytes read from DRAM.
+    pub read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub write_bytes: u64,
+}
+
+impl Traffic {
+    /// Total bytes moved in either direction.
+    pub fn total(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Adds `bytes` in direction `dir`.
+    pub fn add(&mut self, dir: Dir, bytes: u64) {
+        match dir {
+            Dir::Read => self.read_bytes += bytes,
+            Dir::Write => self.write_bytes += bytes,
+        }
+    }
+}
+
+impl core::ops::Add for Traffic {
+    type Output = Traffic;
+    fn add(self, rhs: Traffic) -> Traffic {
+        Traffic {
+            read_bytes: self.read_bytes + rhs.read_bytes,
+            write_bytes: self.write_bytes + rhs.write_bytes,
+        }
+    }
+}
+
+impl core::ops::AddAssign for Traffic {
+    fn add_assign(&mut self, rhs: Traffic) {
+        *self = *self + rhs;
+    }
+}
+
+/// One double-buffered execution step: some compute overlapped with some
+/// data movement.
+///
+/// The performance evaluator models phase time as
+/// `max(compute_time, memory_time)` — the standard double-buffering
+/// assumption the paper's simulators also make (compute and DMA overlap;
+/// the slower side dominates).
+#[derive(Debug, Clone, Default)]
+pub struct Phase {
+    /// Label for diagnostics (layer name, tile id, …).
+    pub label: String,
+    /// Compute cycles at the *accelerator* clock.
+    pub compute_cycles: u64,
+    /// Ordered data movements issued during the phase.
+    pub requests: Vec<MemRequest>,
+}
+
+impl Phase {
+    /// Creates an empty phase.
+    pub fn new(label: impl Into<String>, compute_cycles: u64) -> Self {
+        Self { label: label.into(), compute_cycles, requests: Vec::new() }
+    }
+
+    /// Raw data traffic of this phase (no protection metadata).
+    pub fn traffic(&self) -> Traffic {
+        let mut t = Traffic::default();
+        for r in &self.requests {
+            t.add(r.dir, r.bytes);
+        }
+        t
+    }
+}
+
+/// A complete application run: region declarations plus ordered phases.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Region declarations referenced by the phases' requests.
+    pub regions: RegionMap,
+    /// Ordered execution phases.
+    pub phases: Vec<Phase>,
+}
+
+impl Trace {
+    /// Total raw data traffic across all phases.
+    pub fn traffic(&self) -> Traffic {
+        self.phases.iter().map(Phase::traffic).fold(Traffic::default(), |a, b| a + b)
+    }
+
+    /// Total compute cycles across all phases (accelerator clock).
+    pub fn compute_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.compute_cycles).sum()
+    }
+
+    /// Total number of requests.
+    pub fn request_count(&self) -> usize {
+        self.phases.iter().map(|p| p.requests.len()).sum()
+    }
+}
+
+/// Incremental construction of a [`Trace`].
+///
+/// # Example
+///
+/// ```
+/// use mgx_trace::{DataClass, MemRequest, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let w = b.regions_mut().alloc("weights", 1 << 20, DataClass::Weight);
+/// b.begin_phase("layer0", 10_000);
+/// b.push(MemRequest::read(w, 0, 4096));
+/// let trace = b.finish();
+/// assert_eq!(trace.phases.len(), 1);
+/// assert_eq!(trace.traffic().read_bytes, 4096);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+    current: Option<Phase>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable access to the region map (declare tensors/buffers here).
+    pub fn regions_mut(&mut self) -> &mut RegionMap {
+        &mut self.trace.regions
+    }
+
+    /// Read access to the region map.
+    pub fn regions(&self) -> &RegionMap {
+        &self.trace.regions
+    }
+
+    /// Starts a new phase, sealing the previous one.
+    pub fn begin_phase(&mut self, label: impl Into<String>, compute_cycles: u64) {
+        self.seal();
+        self.current = Some(Phase::new(label, compute_cycles));
+    }
+
+    /// Adds a request to the current phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase has been started.
+    pub fn push(&mut self, req: MemRequest) {
+        self.current
+            .as_mut()
+            .expect("begin_phase must be called before push")
+            .requests
+            .push(req);
+    }
+
+    /// Adds extra compute cycles to the current phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase has been started.
+    pub fn add_compute(&mut self, cycles: u64) {
+        self.current
+            .as_mut()
+            .expect("begin_phase must be called before add_compute")
+            .compute_cycles += cycles;
+    }
+
+    fn seal(&mut self) {
+        if let Some(p) = self.current.take() {
+            self.trace.phases.push(p);
+        }
+    }
+
+    /// Seals the current phase and returns the finished trace.
+    pub fn finish(mut self) -> Trace {
+        self.seal();
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataClass, RegionId};
+
+    fn req(dir: Dir, bytes: u64) -> MemRequest {
+        MemRequest { addr: 0, bytes, dir, region: RegionId(0) }
+    }
+
+    #[test]
+    fn traffic_accumulates_by_direction() {
+        let mut t = Traffic::default();
+        t.add(Dir::Read, 100);
+        t.add(Dir::Write, 50);
+        t.add(Dir::Read, 1);
+        assert_eq!(t.read_bytes, 101);
+        assert_eq!(t.write_bytes, 50);
+        assert_eq!(t.total(), 151);
+    }
+
+    #[test]
+    fn builder_seals_phases_in_order() {
+        let mut b = TraceBuilder::new();
+        b.regions_mut().alloc("r", 4096, DataClass::Other);
+        b.begin_phase("p0", 10);
+        b.push(req(Dir::Read, 64));
+        b.begin_phase("p1", 20);
+        b.push(req(Dir::Write, 128));
+        b.push(req(Dir::Read, 64));
+        let t = b.finish();
+        assert_eq!(t.phases.len(), 2);
+        assert_eq!(t.phases[0].label, "p0");
+        assert_eq!(t.phases[1].requests.len(), 2);
+        assert_eq!(t.compute_cycles(), 30);
+        assert_eq!(t.traffic(), Traffic { read_bytes: 128, write_bytes: 128 });
+        assert_eq!(t.request_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_phase")]
+    fn push_without_phase_panics() {
+        let mut b = TraceBuilder::new();
+        b.push(req(Dir::Read, 64));
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let t = TraceBuilder::new().finish();
+        assert_eq!(t.traffic().total(), 0);
+        assert_eq!(t.compute_cycles(), 0);
+    }
+}

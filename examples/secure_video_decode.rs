@@ -1,0 +1,43 @@
+//! Secure H.264-style decode (paper §VII-A, Figs 18–19): out-of-order
+//! B-frame decoding over recycled, MGX-protected frame buffers.
+//!
+//! ```text
+//! cargo run --example secure_video_decode
+//! ```
+
+use mgx::h264::decoder::{DecoderConfig, SecureDecoder};
+use mgx::h264::{FrameType, GopStructure};
+
+fn main() {
+    let gop = GopStructure::ibpb(12);
+    let display: Vec<&str> = gop
+        .frames
+        .iter()
+        .map(|f| match f {
+            FrameType::I => "I",
+            FrameType::P => "P",
+            FrameType::B => "B",
+        })
+        .collect();
+    println!("display order : {}", display.join(" "));
+    println!(
+        "decode order  : {}",
+        gop.decode_order().iter().map(|d| d.to_string()).collect::<Vec<_>>().join(" ")
+    );
+    #[allow(clippy::needless_range_loop)]
+    for f in 0..4 {
+        println!("frame {f} ({}) references {:?}", display[f], gop.references(f));
+    }
+
+    let mut dec = SecureDecoder::new(DecoderConfig::default());
+    let report = dec.decode(&gop).expect("every reference read must verify");
+    println!("\ndecoded {} frames", report.frames);
+    println!("reference blocks cryptographically verified: {}", report.ref_blocks_verified);
+    println!("frames per buffer (recycling): {:?}", report.frames_per_buffer);
+    println!(
+        "write-once-per-frame counter audit: {}",
+        if report.counters_unique { "PASS" } else { "FAIL" }
+    );
+    println!("\nthe VN for every read is regenerated from CTR_IN ‖ frame-number —");
+    println!("no off-chip VN storage despite the dynamic, out-of-order access pattern.");
+}

@@ -1,0 +1,62 @@
+//! # MGX: near-zero overhead memory protection for data-intensive accelerators
+//!
+//! A full-system reproduction of the ISCA 2022 paper. This facade crate
+//! re-exports the workspace so applications can depend on a single `mgx`
+//! crate:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`crypto`] | AES-128, AES-CTR, GHASH/GCM, CMAC, 8-ary Merkle tree |
+//! | [`core`] | protection schemes, on-chip VN generators, functional secure memory, traffic engines |
+//! | [`trace`] | memory requests, phases, regions |
+//! | [`dram`] | event-driven DDR4 timing simulator |
+//! | [`cache`] | set-associative metadata cache |
+//! | [`scalesim`] | systolic-array DNN accelerator model |
+//! | [`dnn`] | AlexNet/VGG/GoogLeNet/ResNet/BERT/DLRM + training + pruning |
+//! | [`graph`] | GraphBLAS substrate, PageRank/BFS/SSSP, graph accelerator |
+//! | [`genome`] | Darwin/GACT pipeline: reads, D-SOFT, banded alignment |
+//! | [`h264`] | GOP scheduling, secure video decoder |
+//! | [`sim`] | end-to-end pipeline + every figure of the evaluation |
+//!
+//! ## Quickstart
+//!
+//! Protect a tiled computation exactly like the paper's Fig 4:
+//!
+//! ```
+//! use mgx::core::secure::MgxSecureMemory;
+//! use mgx::core::vn::DnnVnState;
+//! use mgx::trace::RegionId;
+//!
+//! # fn main() -> Result<(), mgx::crypto::TagMismatch> {
+//! let mut mem = MgxSecureMemory::new(b"session-enc-key!", b"session-mac-key!");
+//! let mut kernel = DnnVnState::new();
+//! let c = kernel.register_feature();
+//! let region = RegionId(0);
+//!
+//! // Two tiled passes over C: each write uses a fresh VN, reads replay it.
+//! for _pass in 0..2 {
+//!     let vn = kernel.feature_write_vn(c);
+//!     mem.write_block(region, 0x0, &[1u8; 512], vn);
+//! }
+//! let out = mem.read_block(region, 0x0, 512, kernel.feature_read_vn(c))?;
+//! assert_eq!(out, vec![1u8; 512]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for complete scenarios and `DESIGN.md`/`EXPERIMENTS.md`
+//! for the reproduction methodology and measured results.
+
+#![forbid(unsafe_code)]
+
+pub use mgx_cache as cache;
+pub use mgx_core as core;
+pub use mgx_crypto as crypto;
+pub use mgx_dnn as dnn;
+pub use mgx_dram as dram;
+pub use mgx_genome as genome;
+pub use mgx_graph as graph;
+pub use mgx_h264 as h264;
+pub use mgx_scalesim as scalesim;
+pub use mgx_sim as sim;
+pub use mgx_trace as trace;

@@ -1,0 +1,123 @@
+//! Cross-crate functional tests: computations executed over MGX-protected
+//! memory must produce bit-identical results to unprotected execution, with
+//! the kernel's on-chip state as the only VN source.
+
+use mgx::core::secure::MgxSecureMemory;
+use mgx::core::vn::{DnnVnState, GraphVnState, UniquenessAuditor};
+use mgx::graph::rmat::RmatGenerator;
+use mgx::graph::semiring::PlusTimes;
+use mgx::graph::spmv::spmv;
+use mgx::trace::RegionId;
+
+const BLOCK: usize = 512;
+
+fn store_f32(mem: &mut MgxSecureMemory, base: u64, data: &[f32], vn: u64) {
+    let mut bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+    bytes.resize(bytes.len().next_multiple_of(BLOCK), 0);
+    for (i, chunk) in bytes.chunks_exact(BLOCK).enumerate() {
+        mem.write_block(RegionId(0), base + (i * BLOCK) as u64, chunk, vn);
+    }
+}
+
+fn load_f32(mem: &MgxSecureMemory, base: u64, n: usize, vn: u64) -> Vec<f32> {
+    let blocks = (n * 4).div_ceil(BLOCK);
+    let mut bytes = Vec::new();
+    for i in 0..blocks {
+        bytes.extend(
+            mem.read_block(RegionId(0), base + (i * BLOCK) as u64, BLOCK, vn)
+                .expect("read must verify"),
+        );
+    }
+    bytes.chunks_exact(4).take(n).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+/// A multi-layer "network" (chained scaled sums) computed twice: plainly
+/// and over protected memory with per-layer VN_F bookkeeping.
+#[test]
+fn layered_computation_over_protected_memory_is_exact() {
+    let n = 256usize;
+    let layers = 6;
+    let mut mem = MgxSecureMemory::new(b"equiv-enc-key-00", b"equiv-mac-key-00");
+    let mut kernel = DnnVnState::new();
+    let mut audit = UniquenessAuditor::new();
+
+    let tensors: Vec<_> = (0..=layers).map(|_| kernel.register_feature()).collect();
+    let base = |l: usize| (l * 4096) as u64;
+
+    // Plain reference computation.
+    let mut plain: Vec<Vec<f32>> = vec![(0..n).map(|i| i as f32 / 7.0).collect()];
+    for l in 1..=layers {
+        let prev = &plain[l - 1];
+        plain.push(prev.iter().map(|v| v * 1.5 + l as f32).collect());
+    }
+
+    // Protected computation: write input, then layer by layer.
+    let vn0 = kernel.feature_write_vn(tensors[0]);
+    audit.record_write(base(0), vn0);
+    store_f32(&mut mem, base(0), &plain[0], vn0);
+    for l in 1..=layers {
+        let x = load_f32(&mem, base(l - 1), n, kernel.feature_read_vn(tensors[l - 1]));
+        let y: Vec<f32> = x.iter().map(|v| v * 1.5 + l as f32).collect();
+        let vn = kernel.feature_write_vn(tensors[l]);
+        assert!(audit.record_write(base(l), vn), "VN reuse at layer {l}");
+        store_f32(&mut mem, base(l), &y, vn);
+    }
+    let out = load_f32(&mem, base(layers), n, kernel.feature_read_vn(tensors[layers]));
+    assert_eq!(out, plain[layers]);
+    assert!(audit.all_unique());
+}
+
+/// PageRank over protected memory with only the iteration counter as VN
+/// state matches unprotected PageRank bit for bit.
+#[test]
+fn secure_pagerank_is_bit_exact() {
+    let mut g = RmatGenerator::social(9, 17).generate(4000);
+    g.normalize_columns();
+    let n = g.n;
+    let mut mem = MgxSecureMemory::new(b"graph-enc-key-00", b"graph-mac-key-00");
+    let mut vn = GraphVnState::new();
+
+    let mut plain: Vec<f32> = vec![1.0 / n as f32; n];
+    vn.begin_iteration();
+    store_f32(&mut mem, 0, &plain, vn.rank_write_vn());
+    for _ in 0..4 {
+        vn.begin_iteration();
+        let current = load_f32(&mem, 0, n, vn.rank_read_vn());
+        assert_eq!(current, plain, "protected rank vector must round-trip");
+        let contrib = spmv::<PlusTimes>(&g, &current);
+        plain = contrib.iter().map(|c| 0.15 / n as f32 + 0.85 * c).collect();
+        store_f32(&mut mem, 0, &plain, vn.rank_write_vn());
+    }
+}
+
+/// Dynamically pruned tiles skip writes entirely; surviving tiles share one
+/// VN_F and still verify (paper Fig 20).
+#[test]
+fn dynamic_pruning_skips_vns_safely() {
+    use mgx::dnn::pruning::ChannelMask;
+    let mut mem = MgxSecureMemory::new(b"prune-enc-key-00", b"prune-mac-key-00");
+    let mut kernel = DnnVnState::new();
+    let y = kernel.register_feature();
+
+    let saliency: Vec<f32> = (0..16).map(|i| (i % 4) as f32).collect();
+    let mask = ChannelMask::from_saliency(&saliency, 2.0);
+    assert!(mask.active() < mask.len());
+
+    let vn = kernel.feature_write_vn(y);
+    for c in mask.surviving() {
+        mem.write_block(RegionId(0), (c * BLOCK) as u64, &vec![c as u8; BLOCK], vn);
+    }
+    // The consumer reads only surviving tiles with the same shared VN.
+    let read_vn = kernel.feature_read_vn(y);
+    for c in mask.surviving() {
+        let data = mem
+            .read_block(RegionId(0), (c * BLOCK) as u64, BLOCK, read_vn)
+            .expect("unpruned tile verifies");
+        assert_eq!(data, vec![c as u8; BLOCK]);
+    }
+    // Pruned channels were never written — their VNs were simply skipped,
+    // which is safe (no counter reuse). A read of a pruned channel under
+    // this VN fails, which is correct: nothing was stored there.
+    let pruned = (0..mask.len()).find(|&c| !mask.keeps(c)).unwrap();
+    assert!(mem.read_block(RegionId(0), (pruned * BLOCK) as u64, BLOCK, read_vn).is_err());
+}

@@ -1,0 +1,131 @@
+//! Integration tests asserting the paper's headline *shapes* end-to-end:
+//! who wins, in what order, by roughly what factor. Small workloads keep
+//! this fast; the full figures come from `mgx-bench`'s `figures` binary.
+
+use mgx::core::Scheme;
+use mgx::dnn::trace::{build_inference_trace, build_training_trace};
+use mgx::dnn::Model;
+use mgx::graph::accel::{build_graph_trace, GraphAccelConfig, GraphWorkload};
+use mgx::graph::rmat::RmatGenerator;
+use mgx::h264::decoder::{build_decode_trace, DecoderConfig};
+use mgx::h264::GopStructure;
+use mgx::scalesim::{ArrayConfig, Dataflow};
+use mgx::sim::{simulate, SimConfig};
+use mgx_sim::experiments::{self, Evaluated};
+
+fn eval(trace: &mgx::trace::Trace, scfg: &SimConfig, name: &str) -> Evaluated {
+    Evaluated {
+        workload: name.into(),
+        config: "Cloud".into(),
+        results: Scheme::ALL.iter().map(|&s| simulate(trace, s, scfg)).collect(),
+    }
+}
+
+#[test]
+fn dnn_inference_headline_shape() {
+    let model = Model::alexnet(1);
+    let trace = build_inference_trace(&model, &ArrayConfig::cloud(), Dataflow::WeightStationary);
+    let scfg = SimConfig::overlapped(4, 700);
+    let e = eval(&trace, &scfg, "AlexNet");
+    let time = |s: Scheme| e.of(s).dram_cycles as f64 / e.np().dram_cycles as f64;
+    // Ordering: NP ≤ MGX ≤ MGX_VN/MGX_MAC ≤ BP.
+    assert!(time(Scheme::Mgx) < time(Scheme::MgxVn));
+    assert!(time(Scheme::MgxVn) < time(Scheme::Baseline));
+    assert!(time(Scheme::MgxMac) < time(Scheme::Baseline));
+    // Factors: MGX near-zero, BP tens of percent.
+    assert!(time(Scheme::Mgx) < 1.06, "MGX {:.3}", time(Scheme::Mgx));
+    assert!(time(Scheme::Baseline) > 1.10, "BP {:.3}", time(Scheme::Baseline));
+}
+
+#[test]
+fn dnn_training_is_protected_like_inference() {
+    let model = Model::alexnet(1);
+    let trace = build_training_trace(&model, &ArrayConfig::cloud(), Dataflow::WeightStationary);
+    let scfg = SimConfig::overlapped(4, 700);
+    let e = eval(&trace, &scfg, "AlexNet-Train");
+    let traffic = |s: Scheme| e.of(s).total_bytes() as f64 / e.np().total_bytes() as f64;
+    assert!(traffic(Scheme::Mgx) < 1.05);
+    assert!(traffic(Scheme::Baseline) > 1.25, "BP train traffic {:.3}", traffic(Scheme::Baseline));
+}
+
+#[test]
+fn dlrm_needs_fine_grained_embedding_macs_but_mgx_still_wins() {
+    let model = Model::dlrm(32);
+    let trace = build_inference_trace(&model, &ArrayConfig::cloud(), Dataflow::WeightStationary);
+    let scfg = SimConfig::overlapped(4, 700);
+    let e = eval(&trace, &scfg, "DLRM");
+    let bp = e.of(Scheme::Baseline);
+    let mgx = e.of(Scheme::Mgx);
+    // Random gathers make BP's VN side explode (deep tree walks) — the
+    // worst BP workload in Fig 12a.
+    assert!(
+        bp.traffic.vn_overhead() > 0.25,
+        "DLRM BP VN overhead {:.3} should dominate",
+        bp.traffic.vn_overhead()
+    );
+    assert_eq!(mgx.traffic.vn.total(), 0, "MGX stores no VNs at all");
+    assert!(mgx.total_bytes() < bp.total_bytes());
+}
+
+#[test]
+fn fig3_vn_side_dominates_mac_side() {
+    // The paper's Fig 3 observation: VN+tree traffic exceeds MAC traffic
+    // for the streaming DNN workloads under traditional protection.
+    let model = Model::googlenet(1);
+    let trace = build_inference_trace(&model, &ArrayConfig::cloud(), Dataflow::WeightStationary);
+    let scfg = SimConfig::overlapped(4, 700);
+    let bp = simulate(&trace, Scheme::Baseline, &scfg);
+    assert!(bp.traffic.vn_overhead() > bp.traffic.mac_overhead());
+}
+
+#[test]
+fn graph_pagerank_and_bfs_share_the_vn_scheme() {
+    let g = RmatGenerator::social(13, 5).generate(100_000);
+    let cfg = GraphAccelConfig::default();
+    let scfg = SimConfig::overlapped(4, 800);
+    for w in [GraphWorkload::PageRank { iters: 2 }, GraphWorkload::Bfs { levels: 3 }] {
+        let trace = build_graph_trace(&g, w, &cfg);
+        let e = eval(&trace, &scfg, w.label());
+        let time = |s: Scheme| e.of(s).dram_cycles as f64 / e.np().dram_cycles as f64;
+        assert!(time(Scheme::Mgx) < 1.08, "{} MGX {:.3}", w.label(), time(Scheme::Mgx));
+        assert!(
+            time(Scheme::Baseline) > time(Scheme::Mgx),
+            "{} BP must lose",
+            w.label()
+        );
+    }
+}
+
+#[test]
+fn video_decode_overheads_are_modest_under_mgx() {
+    let trace = build_decode_trace(&GopStructure::ibpb(12), &DecoderConfig::default());
+    let scfg = SimConfig::overlapped(1, 500);
+    let e = eval(&trace, &scfg, "H264");
+    let time = |s: Scheme| e.of(s).dram_cycles as f64 / e.np().dram_cycles as f64;
+    assert!(time(Scheme::Mgx) <= time(Scheme::Baseline));
+}
+
+#[test]
+fn fig3_builder_collects_bp_rows_across_domains() {
+    let scfg = SimConfig::overlapped(4, 700);
+    let model = Model::alexnet(1);
+    let inf = vec![eval(
+        &build_inference_trace(&model, &ArrayConfig::cloud(), Dataflow::WeightStationary),
+        &scfg,
+        "AlexNet",
+    )];
+    let train = vec![eval(
+        &build_training_trace(&model, &ArrayConfig::cloud(), Dataflow::WeightStationary),
+        &scfg,
+        "AlexNet",
+    )];
+    let g = RmatGenerator::social(12, 2).generate(50_000);
+    let gtrace = build_graph_trace(&g, GraphWorkload::PageRank { iters: 2 }, &GraphAccelConfig::default());
+    let graphs = vec![eval(&gtrace, &SimConfig::overlapped(4, 800), "PR-test")];
+    let fig = experiments::fig3(&inf, &train, &graphs);
+    assert_eq!(fig.rows.len(), 3);
+    assert!(fig.rows.iter().all(|r| r.scheme == Scheme::Baseline));
+    assert!(fig.rows.iter().all(|r| r.vn_overhead > 0.0 && r.mac_overhead > 0.0));
+    assert_eq!(fig.rows[0].workload, "AlexNet-Inf");
+    assert_eq!(fig.rows[1].workload, "AlexNet-Train");
+}
