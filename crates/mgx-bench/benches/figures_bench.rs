@@ -27,11 +27,9 @@ fn fig3_fig12_fig13_dnn(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12_13_dnn_inference");
     g.sample_size(10);
     for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
-        g.bench_with_input(
-            BenchmarkId::new("alexnet_cloud", scheme.label()),
-            &scheme,
-            |b, &s| b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles)),
-        );
+        g.bench_with_input(BenchmarkId::new("alexnet_cloud", scheme.label()), &scheme, |b, &s| {
+            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
+        });
     }
     g.finish();
 
@@ -39,11 +37,9 @@ fn fig3_fig12_fig13_dnn(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12b_13b_dnn_training");
     g.sample_size(10);
     for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
-        g.bench_with_input(
-            BenchmarkId::new("alexnet_cloud", scheme.label()),
-            &scheme,
-            |b, &s| b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles)),
-        );
+        g.bench_with_input(BenchmarkId::new("alexnet_cloud", scheme.label()), &scheme, |b, &s| {
+            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
+        });
     }
     g.finish();
 }
@@ -59,9 +55,11 @@ fn fig14_graph(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14_graph");
     g.sample_size(10);
     for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
-        g.bench_with_input(BenchmarkId::new("pagerank_rmat14", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pagerank_rmat14", scheme.label()),
+            &scheme,
+            |b, &s| b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles)),
+        );
     }
     g.finish();
 }

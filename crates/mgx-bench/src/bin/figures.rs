@@ -29,8 +29,7 @@ fn main() {
             println!("{}", render(fig));
         }
     };
-    let args: Vec<String> =
-        args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let args: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     let args = if args.is_empty() { vec!["all".to_string()] } else { args };
 
     eprintln!("# scale: {scale:?}");

@@ -53,11 +53,7 @@ impl CacheConfig {
         let lines = self.capacity_bytes / self.line_bytes;
         let sets = lines as usize / self.ways;
         assert!(sets > 0, "cache must have at least one set");
-        assert_eq!(
-            lines as usize,
-            sets * self.ways,
-            "capacity must divide into ways evenly"
-        );
+        assert_eq!(lines as usize, sets * self.ways, "capacity must divide into ways evenly");
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
     }
@@ -194,16 +190,13 @@ impl CacheSim {
         self.stats.fills += 1;
 
         // Victim: an invalid way if present, else the least-recently used.
-        let victim = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("set is non-empty")
-            });
+        let victim = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("set is non-empty")
+        });
 
         let mut writeback = None;
         if set[victim].valid && set[victim].dirty {
@@ -289,6 +282,7 @@ mod tests {
         let mut c = small();
         c.access(0x000, AccessKind::Write); // dirty
         c.access(0x100, AccessKind::Read); // clean
+
         // Evict 0x000 (LRU) — dirty, so write back.
         let out = c.access(0x200, AccessKind::Read);
         assert_eq!(out.writeback, Some(0x000));

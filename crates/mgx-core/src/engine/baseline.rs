@@ -51,7 +51,11 @@ impl BaselineEngine {
 
     /// The MGX_MAC ablation: off-chip VNs + tree, but coarse uncached MACs.
     pub fn coarse_mac(regions: &RegionMap, config: &ProtectionConfig) -> Self {
-        Self::build(config, MacMode::Coarse(CoarseMacTracker::new(config.resolve(regions))), "MGX_MAC")
+        Self::build(
+            config,
+            MacMode::Coarse(CoarseMacTracker::new(config.resolve(regions))),
+            "MGX_MAC",
+        )
     }
 
     fn build(config: &ProtectionConfig, mac: MacMode, name: &'static str) -> Self {
@@ -277,7 +281,11 @@ mod tests {
             e.expand(&MemRequest::read(region, addr, 64), &mut |_| {});
         }
         let t = e.traffic();
-        assert!(t.overhead() > 1.0, "random-gather overhead {:.3} should exceed 100%", t.overhead());
+        assert!(
+            t.overhead() > 1.0,
+            "random-gather overhead {:.3} should exceed 100%",
+            t.overhead()
+        );
         assert!(t.tree.total() > 0);
     }
 

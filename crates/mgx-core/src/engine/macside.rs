@@ -107,11 +107,7 @@ impl CoarseMacTracker {
         emit: &mut dyn FnMut(LineTxn),
     ) {
         let region = req.region.0 as usize;
-        let gran = self
-            .granularity
-            .get(region)
-            .copied()
-            .unwrap_or(MacGranularity::COARSE);
+        let gran = self.granularity.get(region).copied().unwrap_or(MacGranularity::COARSE);
         match gran {
             MacGranularity::Bytes(g) => {
                 let first_block = req.addr / g;
@@ -191,11 +187,7 @@ mod tests {
         let (txns, _) = collect(|traffic, emit| {
             for i in 0..20u64 {
                 // Irregular tile sizes — one MAC each regardless.
-                t.expand(
-                    &MemRequest::read(RegionId(0), i * 10_000, 3000 + i * 7),
-                    traffic,
-                    emit,
-                );
+                t.expand(&MemRequest::read(RegionId(0), i * 10_000, 3000 + i * 7), traffic, emit);
             }
         });
         // 20 tiles × 8 B = 160 B of MACs = 3 distinct lines (coalesced).
@@ -204,10 +196,8 @@ mod tests {
 
     #[test]
     fn regions_do_not_coalesce_across_each_other() {
-        let mut t = CoarseMacTracker::new(vec![
-            MacGranularity::Bytes(512),
-            MacGranularity::Bytes(512),
-        ]);
+        let mut t =
+            CoarseMacTracker::new(vec![MacGranularity::Bytes(512), MacGranularity::Bytes(512)]);
         let (txns, _) = collect(|traffic, emit| {
             t.expand(&MemRequest::read(RegionId(0), 0, 512), traffic, emit);
             t.expand(&MemRequest::read(RegionId(1), 0, 512), traffic, emit);

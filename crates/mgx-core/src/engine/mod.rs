@@ -243,10 +243,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_requests() -> impl Strategy<Value = Vec<(u64, u16, bool)>> {
-        proptest::collection::vec(
-            (0u64..(1 << 22), 64u16..8192, any::<bool>()),
-            1..60,
-        )
+        proptest::collection::vec((0u64..(1 << 22), 64u16..8192, any::<bool>()), 1..60)
     }
 
     proptest! {

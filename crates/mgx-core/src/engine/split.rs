@@ -204,10 +204,7 @@ mod tests {
         stream(&mut mee, Dir::Read, 8);
         let sc_vn = sc.traffic().vn_overhead();
         let mee_vn = mee.traffic().vn_overhead();
-        assert!(
-            sc_vn < mee_vn / 4.0,
-            "SC VN overhead {sc_vn:.4} should be ≪ MEE {mee_vn:.4}"
-        );
+        assert!(sc_vn < mee_vn / 4.0, "SC VN overhead {sc_vn:.4} should be ≪ MEE {mee_vn:.4}");
         // MAC side identical.
         assert!((sc.traffic().mac_overhead() - mee.traffic().mac_overhead()).abs() < 0.01);
     }

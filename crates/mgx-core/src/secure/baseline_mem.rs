@@ -49,7 +49,10 @@ impl BaselineSecureMemory {
     ///
     /// Panics if `capacity` is zero or not line-aligned.
     pub fn new(enc_key: &[u8; 16], mac_key: &[u8; 16], capacity: u64) -> Self {
-        assert!(capacity > 0 && capacity.is_multiple_of(LINE_BYTES), "capacity must be in whole lines");
+        assert!(
+            capacity > 0 && capacity.is_multiple_of(LINE_BYTES),
+            "capacity must be in whole lines"
+        );
         let layout = BaselineLayout::new(capacity, 8);
         let vn_lines = (capacity / LINE_BYTES).div_ceil(8) as usize;
         Self {

@@ -58,10 +58,7 @@ impl UntrustedMemory {
     pub fn read(&self, addr: u64, buf: &mut [u8]) {
         for (i, b) in buf.iter_mut().enumerate() {
             let a = addr + i as u64;
-            *b = self
-                .pages
-                .get(&(a / PAGE_BYTES))
-                .map_or(0, |p| p[(a % PAGE_BYTES) as usize]);
+            *b = self.pages.get(&(a / PAGE_BYTES)).map_or(0, |p| p[(a % PAGE_BYTES) as usize]);
         }
     }
 

@@ -198,7 +198,12 @@ impl AcceleratorSession {
     /// # Errors
     ///
     /// [`TagMismatch`] if the payload fails authentication.
-    pub fn receive(&self, iv: &[u8; 12], ct: &[u8], tag: &[u8; 16]) -> Result<Vec<u8>, TagMismatch> {
+    pub fn receive(
+        &self,
+        iv: &[u8; 12],
+        ct: &[u8],
+        tag: &[u8; 16],
+    ) -> Result<Vec<u8>, TagMismatch> {
         gcm::open(&Aes128::new(&self.keys().enc_key), iv, b"mgx-session", ct, tag)
     }
 }
@@ -254,12 +259,7 @@ impl UserSession {
         resp: &HandshakeResponse,
     ) -> Result<SessionKeys, TagMismatch> {
         // 1. Certificate: PK_Accel really belongs to the manufacturer.
-        schnorr::verify(
-            &self.group,
-            &self.ca_pk,
-            &cert.device_pk.to_be_bytes(),
-            &cert.signature,
-        )?;
+        schnorr::verify(&self.group, &self.ca_pk, &cert.device_pk.to_be_bytes(), &cert.signature)?;
         // 2. Measurements match what the user expects to be running.
         if resp.report.firmware_hash != self.expected_firmware
             || resp.report.kernel_hash != self.expected_kernel

@@ -378,7 +378,10 @@ mod tests {
         for (i, &t) in tiles.iter().enumerate() {
             expect += t;
             assert_eq!(st.feature_vn(tensors[i]), expect - (expect - st.feature_vn(tensors[i])));
-            assert_eq!(st.feature_vn(tensors[i]), tiles[..=i].iter().sum::<u64>() - tiles[..i].iter().sum::<u64>());
+            assert_eq!(
+                st.feature_vn(tensors[i]),
+                tiles[..=i].iter().sum::<u64>() - tiles[..i].iter().sum::<u64>()
+            );
         }
         // Each tensor's VN equals its own write count; uniqueness across
         // tensors comes from the address in the counter.

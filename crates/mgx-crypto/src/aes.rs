@@ -253,10 +253,7 @@ mod tests {
         // AES-128 of the zero block under the zero key (widely published KAT,
         // also the GHASH subkey H in GCM test case 1).
         let key = Aes128::new(&[0u8; 16]);
-        assert_eq!(
-            key.encrypt_block(&[0u8; 16]),
-            hex16("66e94bd4ef8a2c3b884cfa59ca342b2e")
-        );
+        assert_eq!(key.encrypt_block(&[0u8; 16]), hex16("66e94bd4ef8a2c3b884cfa59ca342b2e"));
     }
 
     #[test]

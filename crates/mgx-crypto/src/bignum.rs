@@ -146,10 +146,7 @@ impl BigUint {
     ///
     /// Panics if `other > self` (values are unsigned).
     pub fn sub(&self, other: &Self) -> Self {
-        assert!(
-            self.cmp_val(other) != core::cmp::Ordering::Less,
-            "subtraction underflow"
-        );
+        assert!(self.cmp_val(other) != core::cmp::Ordering::Less, "subtraction underflow");
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0i128;
         for i in 0..self.limbs.len() {
@@ -349,6 +346,7 @@ mod tests {
         let r = n(3).mod_pow(&n(200), &n(1000));
         assert_eq!(r, n(1));
         assert_eq!(n(3).mod_pow(&n(7), &n(1000)), n(187)); // 2187 mod 1000
+
         // Fermat: a^(p-1) ≡ 1 (mod p) for prime p = 1_000_003.
         let p = n(1_000_003);
         assert_eq!(n(12345).mod_pow(&n(1_000_002), &p), BigUint::one());

@@ -110,9 +110,7 @@ mod tests {
     use super::*;
 
     fn hx(s: &str) -> Vec<u8> {
-        (0..s.len() / 2)
-            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
-            .collect()
+        (0..s.len() / 2).map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap()).collect()
     }
 
     fn h16(s: &str) -> [u8; 16] {
@@ -145,10 +143,8 @@ mod tests {
     fn nist_case_3() {
         let key = Aes128::new(&h16("feffe9928665731c6d6a8f9467308308"));
         let iv: [u8; 12] = hx("cafebabefacedbaddecaf888").try_into().unwrap();
-        let pt = hx(
-            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
-             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
-        );
+        let pt = hx("d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
         let (ct, tag) = seal(&key, &iv, &[], &pt);
         assert_eq!(
             ct,
@@ -163,10 +159,8 @@ mod tests {
     fn nist_case_4() {
         let key = Aes128::new(&h16("feffe9928665731c6d6a8f9467308308"));
         let iv: [u8; 12] = hx("cafebabefacedbaddecaf888").try_into().unwrap();
-        let pt = hx(
-            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
-             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
-        );
+        let pt = hx("d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
         let aad = hx("feedfacedeadbeeffeedfacedeadbeefabaddad2");
         let (ct, tag) = seal(&key, &iv, &aad, &pt);
         assert_eq!(tag, h16("5bc94fbc3221a5db94fae95ae7121a47"));

@@ -153,9 +153,6 @@ mod tests {
         j0[15] = 1;
         let ekj0 = u128::from_be_bytes(key.encrypt_block(&j0));
         let tag = ghash ^ ekj0;
-        assert_eq!(
-            tag.to_be_bytes(),
-            h16("ab6e47d42cec13bdf53a67b21257bddf")
-        );
+        assert_eq!(tag.to_be_bytes(), h16("ab6e47d42cec13bdf53a67b21257bddf"));
     }
 }

@@ -48,8 +48,8 @@ pub mod ctr;
 pub mod gcm;
 pub mod ghash;
 pub mod mac;
-pub mod schnorr;
 pub mod merkle;
+pub mod schnorr;
 
 /// Authentication failure: a computed tag did not match the stored tag.
 ///

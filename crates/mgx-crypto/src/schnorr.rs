@@ -33,12 +33,10 @@ impl Group {
     /// (`p = 2q + 1`, both Miller–Rabin-verified; `g = 4` is a quadratic
     /// residue and therefore generates the order-`q` subgroup).
     pub fn test_256() -> Self {
-        let p = BigUint::from_hex(
-            "f740f33779686a90106e95f4396ad96febc85782232248c570cbfe35486c746b",
-        );
-        let q = BigUint::from_hex(
-            "7ba0799bbcb4354808374afa1cb56cb7f5e42bc111912462b865ff1aa4363a35",
-        );
+        let p =
+            BigUint::from_hex("f740f33779686a90106e95f4396ad96febc85782232248c570cbfe35486c746b");
+        let q =
+            BigUint::from_hex("7ba0799bbcb4354808374afa1cb56cb7f5e42bc111912462b865ff1aa4363a35");
         Self { p, g: BigUint::from_u64(4), q }
     }
 
@@ -115,17 +113,9 @@ pub fn sign(group: &Group, keys: &KeyPair, msg: &[u8], nonce_secret: &[u8]) -> S
 /// # Errors
 ///
 /// [`TagMismatch`] if the signature does not verify for `(pk, msg)`.
-pub fn verify(
-    group: &Group,
-    pk: &BigUint,
-    msg: &[u8],
-    sig: &Signature,
-) -> Result<(), TagMismatch> {
+pub fn verify(group: &Group, pk: &BigUint, msg: &[u8], sig: &Signature) -> Result<(), TagMismatch> {
     let neg_e = group.q.sub(&sig.e.rem(&group.q));
-    let r = group
-        .g
-        .mod_pow(&sig.s, &group.p)
-        .mul_mod(&pk.mod_pow(&neg_e, &group.p), &group.p);
+    let r = group.g.mod_pow(&sig.s, &group.p).mul_mod(&pk.mod_pow(&neg_e, &group.p), &group.p);
     if challenge(group, &r, pk, msg) == sig.e {
         Ok(())
     } else {

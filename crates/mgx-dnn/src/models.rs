@@ -60,13 +60,28 @@ impl Model {
         let pool = |name: &str, c: u64, h: u64, w: u64, oh: u64, ow: u64| {
             Op::new(name, OpKind::Stream { in_elems: c * h * w, out_elems: c * oh * ow })
         };
-        ops.push(conv("conv1", ConvSpec { c_in: 3, h: 227, w: 227, k: 96, r: 11, s: 11, stride: 4, pad: 0 }));
+        ops.push(conv(
+            "conv1",
+            ConvSpec { c_in: 3, h: 227, w: 227, k: 96, r: 11, s: 11, stride: 4, pad: 0 },
+        ));
         ops.push(pool("pool1", 96, 55, 55, 27, 27));
-        ops.push(conv("conv2", ConvSpec { c_in: 96, h: 27, w: 27, k: 256, r: 5, s: 5, stride: 1, pad: 2 }));
+        ops.push(conv(
+            "conv2",
+            ConvSpec { c_in: 96, h: 27, w: 27, k: 256, r: 5, s: 5, stride: 1, pad: 2 },
+        ));
         ops.push(pool("pool2", 256, 27, 27, 13, 13));
-        ops.push(conv("conv3", ConvSpec { c_in: 256, h: 13, w: 13, k: 384, r: 3, s: 3, stride: 1, pad: 1 }));
-        ops.push(conv("conv4", ConvSpec { c_in: 384, h: 13, w: 13, k: 384, r: 3, s: 3, stride: 1, pad: 1 }));
-        ops.push(conv("conv5", ConvSpec { c_in: 384, h: 13, w: 13, k: 256, r: 3, s: 3, stride: 1, pad: 1 }));
+        ops.push(conv(
+            "conv3",
+            ConvSpec { c_in: 256, h: 13, w: 13, k: 384, r: 3, s: 3, stride: 1, pad: 1 },
+        ));
+        ops.push(conv(
+            "conv4",
+            ConvSpec { c_in: 384, h: 13, w: 13, k: 384, r: 3, s: 3, stride: 1, pad: 1 },
+        ));
+        ops.push(conv(
+            "conv5",
+            ConvSpec { c_in: 384, h: 13, w: 13, k: 256, r: 3, s: 3, stride: 1, pad: 1 },
+        ));
         ops.push(pool("pool5", 256, 13, 13, 6, 6));
         ops.push(Op::new("fc6", OpKind::Dense { c_in: 9216, c_out: 4096 }));
         ops.push(Op::new("fc7", OpKind::Dense { c_in: 4096, c_out: 4096 }));
@@ -105,7 +120,16 @@ impl Model {
         let mut ops: Vec<Op> = Vec::new();
         ops.push(Op::new(
             "conv1",
-            OpKind::Conv(ConvSpec { c_in: 3, h: 224, w: 224, k: 64, r: 7, s: 7, stride: 2, pad: 3 }),
+            OpKind::Conv(ConvSpec {
+                c_in: 3,
+                h: 224,
+                w: 224,
+                k: 64,
+                r: 7,
+                s: 7,
+                stride: 2,
+                pad: 3,
+            }),
         ));
         ops.push(Op::new(
             "maxpool",
@@ -122,22 +146,58 @@ impl Model {
                 let block_input = ops.len().checked_sub(1);
                 ops.push(Op::new(
                     format!("res{}_{}a", si + 2, b + 1),
-                    OpKind::Conv(ConvSpec { c_in, h: in_size, w: in_size, k: mid, r: 1, s: 1, stride, pad: 0 }),
+                    OpKind::Conv(ConvSpec {
+                        c_in,
+                        h: in_size,
+                        w: in_size,
+                        k: mid,
+                        r: 1,
+                        s: 1,
+                        stride,
+                        pad: 0,
+                    }),
                 ));
                 ops.push(Op::new(
                     format!("res{}_{}b", si + 2, b + 1),
-                    OpKind::Conv(ConvSpec { c_in: mid, h: size, w: size, k: mid, r: 3, s: 3, stride: 1, pad: 1 }),
+                    OpKind::Conv(ConvSpec {
+                        c_in: mid,
+                        h: size,
+                        w: size,
+                        k: mid,
+                        r: 3,
+                        s: 3,
+                        stride: 1,
+                        pad: 1,
+                    }),
                 ));
                 ops.push(Op::new(
                     format!("res{}_{}c", si + 2, b + 1),
-                    OpKind::Conv(ConvSpec { c_in: mid, h: size, w: size, k: out, r: 1, s: 1, stride: 1, pad: 0 }),
+                    OpKind::Conv(ConvSpec {
+                        c_in: mid,
+                        h: size,
+                        w: size,
+                        k: out,
+                        r: 1,
+                        s: 1,
+                        stride: 1,
+                        pad: 0,
+                    }),
                 ));
                 if b == 0 {
                     // Projection shortcut from the block input.
                     let proj_in = block_input.map(InputRef::Op).unwrap_or(InputRef::External);
                     ops.push(Op::with_input(
                         format!("res{}_{}p", si + 2, b + 1),
-                        OpKind::Conv(ConvSpec { c_in, h: in_size, w: in_size, k: out, r: 1, s: 1, stride, pad: 0 }),
+                        OpKind::Conv(ConvSpec {
+                            c_in,
+                            h: in_size,
+                            w: in_size,
+                            k: out,
+                            r: 1,
+                            s: 1,
+                            stride,
+                            pad: 0,
+                        }),
                         proj_in,
                     ));
                     let proj_idx = ops.len() - 1;
@@ -166,18 +226,42 @@ impl Model {
         let mut ops: Vec<Op> = Vec::new();
         ops.push(Op::new(
             "conv1",
-            OpKind::Conv(ConvSpec { c_in: 3, h: 224, w: 224, k: 64, r: 7, s: 7, stride: 2, pad: 3 }),
+            OpKind::Conv(ConvSpec {
+                c_in: 3,
+                h: 224,
+                w: 224,
+                k: 64,
+                r: 7,
+                s: 7,
+                stride: 2,
+                pad: 3,
+            }),
         ));
-        ops.push(Op::new("pool1", OpKind::Stream { in_elems: 64 * 112 * 112, out_elems: 64 * 56 * 56 }));
+        ops.push(Op::new(
+            "pool1",
+            OpKind::Stream { in_elems: 64 * 112 * 112, out_elems: 64 * 56 * 56 },
+        ));
         ops.push(Op::new(
             "conv2a",
             OpKind::Conv(ConvSpec { c_in: 64, h: 56, w: 56, k: 64, r: 1, s: 1, stride: 1, pad: 0 }),
         ));
         ops.push(Op::new(
             "conv2b",
-            OpKind::Conv(ConvSpec { c_in: 64, h: 56, w: 56, k: 192, r: 3, s: 3, stride: 1, pad: 1 }),
+            OpKind::Conv(ConvSpec {
+                c_in: 64,
+                h: 56,
+                w: 56,
+                k: 192,
+                r: 3,
+                s: 3,
+                stride: 1,
+                pad: 1,
+            }),
         ));
-        ops.push(Op::new("pool2", OpKind::Stream { in_elems: 192 * 56 * 56, out_elems: 192 * 28 * 28 }));
+        ops.push(Op::new(
+            "pool2",
+            OpKind::Stream { in_elems: 192 * 56 * 56, out_elems: 192 * 28 * 28 },
+        ));
 
         // (name, c_in, size, 1x1, 3x3red, 3x3, 5x5red, 5x5, poolproj)
         type Inc = (&'static str, u64, u64, u64, u64, u64, u64, u64, u64);
@@ -195,19 +279,50 @@ impl Model {
         for (i, &(nm, c_in, sz, b1, b3r, b3, b5r, b5, bp)) in incs.iter().enumerate() {
             // Pools between inception stages.
             if nm == "4a" {
-                ops.push(Op::new("pool3", OpKind::Stream { in_elems: 480 * 28 * 28, out_elems: 480 * 14 * 14 }));
+                ops.push(Op::new(
+                    "pool3",
+                    OpKind::Stream { in_elems: 480 * 28 * 28, out_elems: 480 * 14 * 14 },
+                ));
             }
             if nm == "5a" {
-                ops.push(Op::new("pool4", OpKind::Stream { in_elems: 832 * 14 * 14, out_elems: 832 * 7 * 7 }));
+                ops.push(Op::new(
+                    "pool4",
+                    OpKind::Stream { in_elems: 832 * 14 * 14, out_elems: 832 * 7 * 7 },
+                ));
             }
             let src = ops.len() - 1;
-            let c = |k: u64, r: u64, cin: u64| ConvSpec { c_in: cin, h: sz, w: sz, k, r, s: r, stride: 1, pad: r / 2 };
-            ops.push(Op::with_input(format!("inc{nm}.1x1"), OpKind::Conv(c(b1, 1, c_in)), InputRef::Op(src)));
-            ops.push(Op::with_input(format!("inc{nm}.3x3r"), OpKind::Conv(c(b3r, 1, c_in)), InputRef::Op(src)));
+            let c = |k: u64, r: u64, cin: u64| ConvSpec {
+                c_in: cin,
+                h: sz,
+                w: sz,
+                k,
+                r,
+                s: r,
+                stride: 1,
+                pad: r / 2,
+            };
+            ops.push(Op::with_input(
+                format!("inc{nm}.1x1"),
+                OpKind::Conv(c(b1, 1, c_in)),
+                InputRef::Op(src),
+            ));
+            ops.push(Op::with_input(
+                format!("inc{nm}.3x3r"),
+                OpKind::Conv(c(b3r, 1, c_in)),
+                InputRef::Op(src),
+            ));
             ops.push(Op::new(format!("inc{nm}.3x3"), OpKind::Conv(c(b3, 3, b3r))));
-            ops.push(Op::with_input(format!("inc{nm}.5x5r"), OpKind::Conv(c(b5r, 1, c_in)), InputRef::Op(src)));
+            ops.push(Op::with_input(
+                format!("inc{nm}.5x5r"),
+                OpKind::Conv(c(b5r, 1, c_in)),
+                InputRef::Op(src),
+            ));
             ops.push(Op::new(format!("inc{nm}.5x5"), OpKind::Conv(c(b5, 5, b5r))));
-            ops.push(Op::with_input(format!("inc{nm}.pool"), OpKind::Conv(c(bp, 1, c_in)), InputRef::Op(src)));
+            ops.push(Op::with_input(
+                format!("inc{nm}.pool"),
+                OpKind::Conv(c(bp, 1, c_in)),
+                InputRef::Op(src),
+            ));
             // Concatenation is free (adjacent buffers); model as a stream
             // copy of the branch outputs into the concat tensor.
             let out = b1 + b3 + b5 + bp;
@@ -231,7 +346,10 @@ impl Model {
         let ffn = 3072u64;
         let mut ops = Vec::new();
         // Token+position embedding lookup: stream (small vs the matmuls).
-        ops.push(Op::new("embed", OpKind::Stream { in_elems: seq * hidden, out_elems: seq * hidden }));
+        ops.push(Op::new(
+            "embed",
+            OpKind::Stream { in_elems: seq * hidden, out_elems: seq * hidden },
+        ));
         for l in 0..12 {
             // Dense ops below process seq tokens each: fold seq into the
             // batch dimension at trace time via `tokens_per_sample`.
@@ -285,7 +403,16 @@ impl Model {
         let mut hw = 112u64;
         ops.push(Op::new(
             "conv1",
-            OpKind::Conv(ConvSpec { c_in: 3, h: 224, w: 224, k: 32, r: 3, s: 3, stride: 2, pad: 1 }),
+            OpKind::Conv(ConvSpec {
+                c_in: 3,
+                h: 224,
+                w: 224,
+                k: 32,
+                r: 3,
+                s: 3,
+                stride: 2,
+                pad: 1,
+            }),
         ));
         // (c_in, c_out, stride) per depthwise-separable block.
         let blocks: [(u64, u64, u64); 13] = [
@@ -322,7 +449,16 @@ impl Model {
             }
             ops.push(Op::new(
                 format!("pw{}", i + 1),
-                OpKind::Conv(ConvSpec { c_in, h: hw, w: hw, k: c_out, r: 1, s: 1, stride: 1, pad: 0 }),
+                OpKind::Conv(ConvSpec {
+                    c_in,
+                    h: hw,
+                    w: hw,
+                    k: c_out,
+                    r: 1,
+                    s: 1,
+                    stride: 1,
+                    pad: 0,
+                }),
             ));
         }
         ops.push(Op::new("avgpool", OpKind::Stream { in_elems: 1024 * 7 * 7, out_elems: 1024 }));
@@ -423,7 +559,11 @@ mod tests {
     fn resnet_input_refs_are_backward_only() {
         let m = Model::resnet50(4);
         for (i, op) in m.ops.iter().enumerate() {
-            let check = |r: InputRef| if let InputRef::Op(j) = r { assert!(j < i, "op {i} ({}) references future op {j}", op.name) };
+            let check = |r: InputRef| {
+                if let InputRef::Op(j) = r {
+                    assert!(j < i, "op {i} ({}) references future op {j}", op.name)
+                }
+            };
             check(op.input);
             if let OpKind::Add { extra, .. } = op.kind {
                 check(extra);

@@ -265,7 +265,11 @@ impl<'m> Lowering<'m> {
         // Loss layer writes the seed gradient.
         let last = self.model.ops.len() - 1;
         b.begin_phase("loss", 1000);
-        b.push(MemRequest::write(grads[last].region, grads[last].base, grads[last].bytes.min(1 << 20)));
+        b.push(MemRequest::write(
+            grads[last].region,
+            grads[last].base,
+            grads[last].bytes.min(1 << 20),
+        ));
 
         for (i, op) in self.model.ops.iter().enumerate().rev() {
             let gy = grads[i];
@@ -602,7 +606,8 @@ mod tests {
     fn weight_update_adds_three_weight_volumes() {
         let model = Model::alexnet(1);
         let base = build_training_trace(&model, &cloud(), Dataflow::WeightStationary);
-        let upd = build_training_trace_with_update(&model, &cloud(), Dataflow::WeightStationary, true);
+        let upd =
+            build_training_trace_with_update(&model, &cloud(), Dataflow::WeightStationary, true);
         let extra = upd.traffic().total() - base.traffic().total();
         let weights = model.weight_elems() * cloud().dtype_bytes;
         assert_eq!(extra, 3 * weights, "read w + read gw + write w");

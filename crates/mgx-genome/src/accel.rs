@@ -113,9 +113,8 @@ pub fn build_gact_trace(
         (ref_len as u64 * cfg.ref_entry_bytes).max(64),
         DataClass::Reference,
     );
-    let query_region = b
-        .regions_mut()
-        .alloc("queries", (reads * read_len * 2) as u64, DataClass::Query);
+    let query_region =
+        b.regions_mut().alloc("queries", (reads * read_len * 2) as u64, DataClass::Query);
     // Generous traceback arena: path ≤ 2·tile steps per tile.
     let tiles_upper = reads as u64 * ((read_len / cfg.tile) as u64 + 2) * 4;
     let tb_region = b.regions_mut().alloc(
@@ -139,10 +138,7 @@ pub fn build_gact_trace(
         for cand in chosen {
             for t in 0..tiles_per_read {
                 let ref_pos = (cand as u64 + t * tile).min(ref_len as u64 - tile);
-                b.begin_phase(
-                    format!("{} tile@{ref_pos}", workload.label()),
-                    cfg.tile_cycles(),
-                );
+                b.begin_phase(format!("{} tile@{ref_pos}", workload.label()), cfg.tile_cycles());
                 b.push(MemRequest::read(
                     ref_region,
                     ref_base + ref_pos * cfg.ref_entry_bytes,

@@ -47,8 +47,7 @@ pub fn dsoft(index: &SeedIndex, query: &[u8], params: &DsoftParams) -> Vec<Candi
     while q + k <= query.len() {
         for &p in index.lookup(&query[q..q + k]) {
             let diag = p as i64 - q as i64;
-            *bins.entry(diag.div_euclid(params.bin_width as i64)).or_insert(0) +=
-                k as u32;
+            *bins.entry(diag.div_euclid(params.bin_width as i64)).or_insert(0) += k as u32;
         }
         q += params.stride;
     }
@@ -67,8 +66,8 @@ pub fn dsoft(index: &SeedIndex, query: &[u8], params: &DsoftParams) -> Vec<Candi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sequence::{ErrorProfile, ReadSimulator, Reference};
     use crate::index::SeedIndex;
+    use crate::sequence::{ErrorProfile, ReadSimulator, Reference};
 
     fn setup() -> (Reference, SeedIndex) {
         let r = Reference::synthesize("chrT", 60_000, 11);
@@ -92,8 +91,7 @@ mod tests {
             // Planted repeats can legitimately put a second copy first, so
             // accept the true position anywhere in the top candidates.
             let hit = cands.iter().take(5).any(|c| {
-                (c.ref_pos as i64 - read.true_pos as i64).abs()
-                    <= params.bin_width as i64 * 2
+                (c.ref_pos as i64 - read.true_pos as i64).abs() <= params.bin_width as i64 * 2
             });
             assert!(hit, "true position {} not in top candidates {cands:?}", read.true_pos);
         }

@@ -62,9 +62,7 @@ impl SeedIndex {
     /// Reference positions of `seed` (empty if absent or malformed).
     pub fn lookup(&self, seed: &[u8]) -> &[u32] {
         debug_assert_eq!(seed.len(), self.k);
-        pack_kmer(seed)
-            .and_then(|key| self.positions.get(&key))
-            .map_or(&[], Vec::as_slice)
+        pack_kmer(seed).and_then(|key| self.positions.get(&key)).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -96,11 +94,13 @@ mod tests {
     fn every_position_is_indexed() {
         let r = b"AACCGGTTAACCGGTT";
         let idx = SeedIndex::build(r, 5);
-        let total: usize = (0..=r.len() - 5).map(|i| {
-            let hits = idx.lookup(&r[i..i + 5]);
-            assert!(hits.contains(&(i as u32)), "position {i} missing");
-            1
-        }).sum();
+        let total: usize = (0..=r.len() - 5)
+            .map(|i| {
+                let hits = idx.lookup(&r[i..i + 5]);
+                assert!(hits.contains(&(i as u32)), "position {i} missing");
+                1
+            })
+            .sum();
         assert_eq!(total, r.len() - 4);
     }
 

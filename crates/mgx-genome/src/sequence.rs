@@ -170,8 +170,7 @@ mod tests {
     fn base_composition_is_roughly_uniform() {
         let r = Reference::synthesize("chrT", 100_000, 3);
         for base in BASES {
-            let frac =
-                r.seq.iter().filter(|&&b| b == base).count() as f64 / r.len() as f64;
+            let frac = r.seq.iter().filter(|&&b| b == base).count() as f64 / r.len() as f64;
             assert!((0.15..0.35).contains(&frac), "{} fraction {frac}", base as char);
         }
     }
@@ -201,12 +200,8 @@ mod tests {
         let r = Reference::synthesize("chrT", 50_000, 1);
         let mut sim = ReadSimulator::new(ErrorProfile::ont_1d(), 1000, 2);
         let read = sim.sample(&r);
-        let matching = read
-            .seq
-            .iter()
-            .zip(&r.seq[read.true_pos..])
-            .filter(|(a, b)| a == b)
-            .count() as f64
+        let matching = read.seq.iter().zip(&r.seq[read.true_pos..]).filter(|(a, b)| a == b).count()
+            as f64
             / read.seq.len() as f64;
         // Direct positional identity decays with indels; just require that
         // errors clearly happened but the read is not random (25% match).

@@ -117,16 +117,10 @@ pub fn build_graph_trace(g: &Csr, workload: GraphWorkload, cfg: &GraphAccelConfi
     };
 
     for sweep in 0..workload.sweeps() {
-        let (read_base, write_base) = if sweep % 2 == 0 {
-            (bases.1, bases.2)
-        } else {
-            (bases.2, bases.1)
-        };
-        let (read_region, write_region) = if sweep % 2 == 0 {
-            (rank[0], rank[1])
-        } else {
-            (rank[1], rank[0])
-        };
+        let (read_base, write_base) =
+            if sweep % 2 == 0 { (bases.1, bases.2) } else { (bases.2, bases.1) };
+        let (read_region, write_region) =
+            if sweep % 2 == 0 { (rank[0], rank[1]) } else { (rank[1], rank[0]) };
         // Tiles are stored contiguously in schedule order.
         let mut adj_off = 0u64;
         for db in 0..dst_blocks {
@@ -157,7 +151,9 @@ pub fn build_graph_trace(g: &Csr, workload: GraphWorkload, cfg: &GraphAccelConfi
                         let off = (h % seg_bytes.max(64)) & !63;
                         b.push(MemRequest::read(
                             read_region,
-                            read_base + (st_lo as u64) * cfg.entry_bytes + off.min(seg_bytes.saturating_sub(64)),
+                            read_base
+                                + (st_lo as u64) * cfg.entry_bytes
+                                + off.min(seg_bytes.saturating_sub(64)),
                             64,
                         ));
                     }
@@ -261,7 +257,9 @@ mod tests {
             .phases
             .iter()
             .flat_map(|p| &p.requests)
-            .filter(|r| r.dir == Dir::Read && t.regions.get(r.region).class == DataClass::VertexAttr)
+            .filter(|r| {
+                r.dir == Dir::Read && t.regions.get(r.region).class == DataClass::VertexAttr
+            })
             .map(|r| r.bytes)
             .sum();
         assert_eq!(rank_reads, (dst_blocks * g.n) as u64 * cfg.entry_bytes);
@@ -311,11 +309,8 @@ mod sssp_tests {
         let g = RmatGenerator::social(10, 5).generate(10_000);
         let cfg = GraphAccelConfig { dst_block: 256, src_tile: 256, ..GraphAccelConfig::default() };
         let dense = build_graph_trace(&g, GraphWorkload::PageRank { iters: 1 }, &cfg);
-        let sparse = build_graph_trace(
-            &g,
-            GraphWorkload::Sssp { sweeps: 1, frontier_per_mille: 200 },
-            &cfg,
-        );
+        let sparse =
+            build_graph_trace(&g, GraphWorkload::Sssp { sweeps: 1, frontier_per_mille: 200 }, &cfg);
         // The attribute-read side shrinks with the frontier density.
         let attr_reads = |t: &mgx_trace::Trace, class: DataClass| -> u64 {
             t.phases
@@ -331,9 +326,7 @@ mod sssp_tests {
         // All sparse gathers are 64 B (fine-grained MAC units).
         for p in &sparse.phases {
             for r in &p.requests {
-                if sparse.regions.get(r.region).class == DataClass::Embedding
-                    && r.dir.is_read()
-                {
+                if sparse.regions.get(r.region).class == DataClass::Embedding && r.dir.is_read() {
                     assert_eq!(r.bytes, 64);
                 }
             }

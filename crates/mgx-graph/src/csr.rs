@@ -124,7 +124,8 @@ mod tests {
         assert_eq!(w, vec![0.5]);
         // Sum over each column = 1.
         for c in 0..4u32 {
-            let sum: f32 = (0..4).flat_map(|r| g.row(r)).filter(|&(cc, _)| cc == c).map(|(_, v)| v).sum();
+            let sum: f32 =
+                (0..4).flat_map(|r| g.row(r)).filter(|&(cc, _)| cc == c).map(|(_, v)| v).sum();
             let deg = g.col_degree(c);
             if deg > 0 {
                 assert!((sum - 1.0).abs() < 1e-6, "column {c} sums to {sum}");

@@ -91,8 +91,7 @@ mod tests {
     #[test]
     fn degree_distribution_is_skewed() {
         let g = RmatGenerator::social(12, 42).generate(40_000);
-        let mut degs: Vec<u64> =
-            (0..g.n).map(|r| g.row_ptr[r + 1] - g.row_ptr[r]).collect();
+        let mut degs: Vec<u64> = (0..g.n).map(|r| g.row_ptr[r + 1] - g.row_ptr[r]).collect();
         degs.sort_unstable_by(|x, y| y.cmp(x));
         let top1pct: u64 = degs[..g.n / 100].iter().sum();
         let total: u64 = degs.iter().sum();
@@ -107,8 +106,7 @@ mod tests {
     fn uniform_parameters_are_not_skewed() {
         let uni = RmatGenerator { a: 0.25, b: 0.25, c: 0.25, scale: 12, seed: 42 };
         let g = uni.generate(40_000);
-        let mut degs: Vec<u64> =
-            (0..g.n).map(|r| g.row_ptr[r + 1] - g.row_ptr[r]).collect();
+        let mut degs: Vec<u64> = (0..g.n).map(|r| g.row_ptr[r + 1] - g.row_ptr[r]).collect();
         degs.sort_unstable_by(|x, y| y.cmp(x));
         let top1pct: u64 = degs[..g.n / 100].iter().sum();
         let total: u64 = degs.iter().sum();

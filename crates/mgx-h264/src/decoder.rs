@@ -127,8 +127,12 @@ impl SecureDecoder {
                 let ref_base = self.buffer_base(plan.assignment[r]);
                 let ref_vn = self.vn.frame_vn(r as u64);
                 for blk in 0..blocks {
-                    let got =
-                        self.mem.read_block(self.region, ref_base + blk * BLOCK, BLOCK as usize, ref_vn)?;
+                    let got = self.mem.read_block(
+                        self.region,
+                        ref_base + blk * BLOCK,
+                        BLOCK as usize,
+                        ref_vn,
+                    )?;
                     debug_assert_eq!(got, Self::frame_block_payload(r, blk), "pixel corruption");
                     verified += 1;
                 }

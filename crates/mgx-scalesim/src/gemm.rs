@@ -117,8 +117,7 @@ pub fn gemm_cost(
                 partial_read_bytes: partial_bytes,
                 partial_write_bytes: partial_bytes,
                 writes_per_output: spills + 1,
-                utilization: g.macs() as f64
-                    / (compute_cycles as f64 * cfg.pe_count() as f64),
+                utilization: g.macs() as f64 / (compute_cycles as f64 * cfg.pe_count() as f64),
             }
         }
         Dataflow::OutputStationary => {
@@ -138,8 +137,7 @@ pub fn gemm_cost(
                 partial_read_bytes: 0,
                 partial_write_bytes: 0,
                 writes_per_output: 1,
-                utilization: g.macs() as f64
-                    / (compute_cycles as f64 * cfg.pe_count() as f64),
+                utilization: g.macs() as f64 / (compute_cycles as f64 * cfg.pe_count() as f64),
             }
         }
     }
@@ -206,8 +204,7 @@ pub fn emit_gemm(
             // Outputs / partial sums for this column stripe.
             let (o_off, o_len) = chunk(cost.ofmap_write_bytes, cf, c);
             if spilling {
-                let (p_off, p_len) =
-                    chunk(g.m * g.n * cfg.acc_bytes, cf, c);
+                let (p_off, p_len) = chunk(g.m * g.n * cfg.acc_bytes, cf, c);
                 if r > 0 && p_len > 0 {
                     builder.push(MemRequest::read(ofr, ofb + p_off, p_len));
                 }
@@ -357,15 +354,8 @@ mod tests {
         ] {
             let mut b = TraceBuilder::new();
             let regions = build_regions(&mut b, &g, &cfg);
-            let cost = emit_gemm(
-                &mut b,
-                "gemm",
-                &g,
-                &cfg,
-                Dataflow::WeightStationary,
-                &regions,
-                None,
-            );
+            let cost =
+                emit_gemm(&mut b, "gemm", &g, &cfg, Dataflow::WeightStationary, &regions, None);
             let trace = b.finish();
             let t = trace.traffic();
             assert_eq!(
@@ -378,8 +368,11 @@ mod tests {
                 cost.ofmap_write_bytes + cost.partial_write_bytes,
                 "write traffic mismatch for {g:?}"
             );
-            assert_eq!(trace.compute_cycles() / (cost.row_folds * cost.col_folds) * (cost.row_folds * cost.col_folds),
-                trace.compute_cycles());
+            assert_eq!(
+                trace.compute_cycles() / (cost.row_folds * cost.col_folds)
+                    * (cost.row_folds * cost.col_folds),
+                trace.compute_cycles()
+            );
             assert_eq!(trace.phases.len() as u64, cost.row_folds * cost.col_folds);
         }
     }

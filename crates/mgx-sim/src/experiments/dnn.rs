@@ -26,8 +26,7 @@ fn evaluate(models: Vec<Model>, scale: &Scale, training: bool) -> Vec<Evaluated>
             } else {
                 build_inference_trace(model, &acfg, Dataflow::WeightStationary)
             };
-            let results =
-                Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
+            let results = Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
             out.push(Evaluated {
                 workload: model.name.to_string(),
                 config: name.to_string(),
@@ -89,9 +88,7 @@ pub fn fig13(evals: &[Evaluated], training: bool) -> Figure {
         ),
         rows: evals
             .iter()
-            .flat_map(|e| {
-                e.rows(&[Scheme::Mgx, Scheme::MgxVn, Scheme::MgxMac, Scheme::Baseline])
-            })
+            .flat_map(|e| e.rows(&[Scheme::Mgx, Scheme::MgxVn, Scheme::MgxMac, Scheme::Baseline]))
             .collect(),
     }
 }
@@ -133,11 +130,7 @@ mod tests {
         let (_, acfg, scfg) = setups().remove(1);
         let trace = build_inference_trace(&model, &acfg, Dataflow::WeightStationary);
         let results = Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
-        let evals = vec![Evaluated {
-            workload: "AlexNet".into(),
-            config: "Edge".into(),
-            results,
-        }];
+        let evals = vec![Evaluated { workload: "AlexNet".into(), config: "Edge".into(), results }];
         let f12 = fig12(&evals, false);
         assert_eq!(f12.rows.len(), 2);
         let f13 = fig13(&evals, false);

@@ -24,9 +24,7 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
         let g = ds.generate(scale.graph_divisor, 0xA11CE);
         // BFS sweep count measured on the actual graph from its busiest
         // vertex (hub), as the accelerator would execute it.
-        let hub = (0..g.n)
-            .max_by_key(|&r| g.row_ptr[r + 1] - g.row_ptr[r])
-            .unwrap_or(0) as u32;
+        let hub = (0..g.n).max_by_key(|&r| g.row_ptr[r + 1] - g.row_ptr[r]).unwrap_or(0) as u32;
         let (_, sweeps) = algorithms::bfs(&g, hub);
         let workloads = [
             GraphWorkload::PageRank { iters: scale.pr_iters },
@@ -61,9 +59,7 @@ pub fn fig14b(evals: &[Evaluated]) -> Figure {
         title: "Graph normalized execution time (MGX, MGX_VN, MGX_MAC, BP)".into(),
         rows: evals
             .iter()
-            .flat_map(|e| {
-                e.rows(&[Scheme::Mgx, Scheme::MgxVn, Scheme::MgxMac, Scheme::Baseline])
-            })
+            .flat_map(|e| e.rows(&[Scheme::Mgx, Scheme::MgxVn, Scheme::MgxMac, Scheme::Baseline]))
             .collect(),
     }
 }
@@ -87,10 +83,7 @@ mod tests {
         let mgx = simulate(&trace, Scheme::Mgx, &scfg);
         let bp_traffic = bp.total_bytes() as f64 / np.total_bytes() as f64;
         let mgx_traffic = mgx.total_bytes() as f64 / np.total_bytes() as f64;
-        assert!(
-            (1.10..1.45).contains(&bp_traffic),
-            "BP graph traffic {bp_traffic:.3} out of band"
-        );
+        assert!((1.10..1.45).contains(&bp_traffic), "BP graph traffic {bp_traffic:.3} out of band");
         assert!(mgx_traffic < 1.05, "MGX graph traffic {mgx_traffic:.3}");
         let bp_t = bp.dram_cycles as f64 / np.dram_cycles as f64;
         let mgx_t = mgx.dram_cycles as f64 / np.dram_cycles as f64;
@@ -113,7 +106,9 @@ mod tests {
         let vn = t(Scheme::MgxVn) / np;
         let mac = t(Scheme::MgxMac) / np;
         let bp = t(Scheme::Baseline) / np;
-        assert!(mgx <= vn && vn <= mac + 0.02 && mac <= bp + 0.02,
-            "ordering MGX {mgx:.3} ≤ MGX_VN {vn:.3} ≤ MGX_MAC {mac:.3} ≤ BP {bp:.3}");
+        assert!(
+            mgx <= vn && vn <= mac + 0.02 && mac <= bp + 0.02,
+            "ordering MGX {mgx:.3} ≤ MGX_VN {vn:.3} ≤ MGX_MAC {mac:.3} ≤ BP {bp:.3}"
+        );
     }
 }

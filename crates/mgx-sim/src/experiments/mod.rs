@@ -5,9 +5,9 @@
 //! Fig 12 and Fig 13 costs one simulation pass, not two.
 
 pub mod dnn;
-pub mod sensitivity;
 pub mod genome;
 pub mod graph;
+pub mod sensitivity;
 pub mod video;
 
 use crate::pipeline::RunResult;
@@ -37,10 +37,7 @@ impl Evaluated {
     ///
     /// Panics if the scheme was not simulated.
     pub fn of(&self, scheme: Scheme) -> &RunResult {
-        self.results
-            .iter()
-            .find(|r| r.scheme == scheme)
-            .expect("scheme missing from evaluation")
+        self.results.iter().find(|r| r.scheme == scheme).expect("scheme missing from evaluation")
     }
 
     /// Builds figure rows for the given schemes.

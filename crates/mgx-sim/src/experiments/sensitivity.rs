@@ -25,7 +25,13 @@ fn resnet_trace(scale: &Scale, dataflow: Dataflow) -> Trace {
     build_inference_trace(&Model::resnet50(scale.dnn_batch), &ArrayConfig::cloud(), dataflow)
 }
 
-fn row(workload: String, config: String, scheme: Scheme, np: &crate::RunResult, r: &crate::RunResult) -> Row {
+fn row(
+    workload: String,
+    config: String,
+    scheme: Scheme,
+    np: &crate::RunResult,
+    r: &crate::RunResult,
+) -> Row {
     Row {
         workload,
         config,
@@ -130,10 +136,8 @@ pub fn channel_sweep(scale: &Scale) -> Figure {
 pub fn dataflow_ablation(scale: &Scale) -> Figure {
     let mut rows = Vec::new();
     let cfg = SimConfig::overlapped(4, 700);
-    for (name, dataflow) in [
-        ("WS", Dataflow::WeightStationary),
-        ("OS", Dataflow::OutputStationary),
-    ] {
+    for (name, dataflow) in [("WS", Dataflow::WeightStationary), ("OS", Dataflow::OutputStationary)]
+    {
         let trace = resnet_trace(scale, dataflow);
         let np = simulate(&trace, Scheme::NoProtection, &cfg);
         for scheme in [Scheme::Mgx, Scheme::Baseline] {
@@ -168,8 +172,8 @@ pub fn vn_scheme_comparison(scale: &Scale) -> Figure {
     let mut dram = mgx_dram::DramSim::new(cfg.dram);
     let mut now = 0u64;
     for phase in &trace.phases {
-        let compute = phase.compute_cycles as u128 * cfg.dram.freq_mhz as u128
-            / cfg.accel_freq_mhz as u128;
+        let compute =
+            phase.compute_cycles as u128 * cfg.dram.freq_mhz as u128 / cfg.accel_freq_mhz as u128;
         let mut txns = Vec::new();
         for req in &phase.requests {
             engine.expand(req, &mut |t| txns.push(t));
@@ -227,6 +231,7 @@ mod tests {
         assert_eq!(fig.rows.len(), 6);
         let first = fig.rows.first().unwrap().normalized_time; // 8 KB
         let last = fig.rows.last().unwrap().normalized_time; // 1 MB
+
         // The paper's claim: bigger caches barely help until they capture
         // cross-layer reuse — so 1 MB must not be dramatically better, and
         // can never be worse than 8 KB.

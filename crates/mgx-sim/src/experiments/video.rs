@@ -48,9 +48,7 @@ mod tests {
         let evals = evaluate(&Scale::quick());
         let fig = fig_h264(&evals);
         assert_eq!(fig.rows.len(), 3);
-        let t = |s: Scheme| {
-            fig.rows.iter().find(|r| r.scheme == s).unwrap().normalized_time
-        };
+        let t = |s: Scheme| fig.rows.iter().find(|r| r.scheme == s).unwrap().normalized_time;
         assert!(t(Scheme::Mgx) <= t(Scheme::MgxVn) + 1e-9);
         assert!(t(Scheme::MgxVn) <= t(Scheme::Baseline) + 1e-9);
         assert!(t(Scheme::Mgx) < 1.10);

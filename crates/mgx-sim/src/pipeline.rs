@@ -71,8 +71,9 @@ pub fn simulate(trace: &Trace, scheme: Scheme, cfg: &SimConfig) -> RunResult {
     let mut engine = scheme_engine(scheme, &trace.regions, &cfg.protection);
     let mut dram = DramSim::new(cfg.dram);
     // Convert accelerator cycles to DRAM cycles without losing precision.
-    let to_dram =
-        |cycles: u64| -> u64 { (cycles as u128 * cfg.dram.freq_mhz as u128 / cfg.accel_freq_mhz as u128) as u64 };
+    let to_dram = |cycles: u64| -> u64 {
+        (cycles as u128 * cfg.dram.freq_mhz as u128 / cfg.accel_freq_mhz as u128) as u64
+    };
 
     let end = match cfg.mode {
         PhaseMode::Overlapped => {
@@ -235,10 +236,7 @@ mod tests {
         let results = simulate_all(&trace, &cfg());
         let np = results[0].dram_cycles;
         let bp = results[1].dram_cycles;
-        assert!(
-            (bp as f64) < 1.001 * np as f64,
-            "fully compute-bound: BP {bp} vs NP {np}"
-        );
+        assert!((bp as f64) < 1.001 * np as f64, "fully compute-bound: BP {bp} vs NP {np}");
     }
 
     #[test]

@@ -17,8 +17,8 @@
 #![warn(missing_docs)]
 
 mod region;
-pub mod stats;
 mod request;
+pub mod stats;
 mod trace;
 
 pub use region::{DataClass, Region, RegionId, RegionMap};

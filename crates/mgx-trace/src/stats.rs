@@ -42,11 +42,8 @@ impl TraceStats {
     /// Analyzes a trace.
     pub fn of(trace: &Trace) -> Self {
         let mut by_class: BTreeMap<&'static str, Traffic> = BTreeMap::new();
-        let mut by_region: Vec<(RegionId, String, Traffic)> = trace
-            .regions
-            .iter()
-            .map(|(id, r)| (id, r.name.clone(), Traffic::default()))
-            .collect();
+        let mut by_region: Vec<(RegionId, String, Traffic)> =
+            trace.regions.iter().map(|(id, r)| (id, r.name.clone(), Traffic::default())).collect();
         let mut requests = 0usize;
         let mut bytes = 0u64;
         for phase in &trace.phases {

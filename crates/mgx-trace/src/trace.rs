@@ -150,11 +150,7 @@ impl TraceBuilder {
     ///
     /// Panics if no phase has been started.
     pub fn push(&mut self, req: MemRequest) {
-        self.current
-            .as_mut()
-            .expect("begin_phase must be called before push")
-            .requests
-            .push(req);
+        self.current.as_mut().expect("begin_phase must be called before push").requests.push(req);
     }
 
     /// Adds extra compute cycles to the current phase.

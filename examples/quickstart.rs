@@ -75,7 +75,9 @@ fn main() -> Result<(), mgx::crypto::TagMismatch> {
     let replay = mem.read_block(region, addr(2, 0), TILE, kernel.feature_read_vn(c));
     assert!(replay.is_err());
     println!("replayed stale C tile rejected: {replay:?}");
-    println!("on-chip VN state: {} bytes (no off-chip VNs, no integrity tree)",
-        kernel.state_bytes());
+    println!(
+        "on-chip VN state: {} bytes (no off-chip VNs, no integrity tree)",
+        kernel.state_bytes()
+    );
     Ok(())
 }

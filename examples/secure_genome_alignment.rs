@@ -44,7 +44,8 @@ fn main() -> Result<(), mgx::crypto::TagMismatch> {
             println!("read {r}: no D-SOFT candidate (too noisy), skipped");
             continue;
         };
-        let tiles = extend(&reference.seq, &read.seq, best.ref_pos as usize, 320, 64, &Scoring::default());
+        let tiles =
+            extend(&reference.seq, &read.seq, best.ref_pos as usize, 320, 64, &Scoring::default());
         let aligned: usize = tiles.iter().map(|t| t.end.1).sum();
         println!(
             "read {r}: true pos {:>6}, D-SOFT best {:>6} (support {}), {} tiles, {}/{} bases aligned",
@@ -67,7 +68,11 @@ fn main() -> Result<(), mgx::crypto::TagMismatch> {
     }
     // The host CPU later reads the traceback back with the same on-chip VN.
     let first = mem.read_block(tb_region, 0, 64, vn.query_vn())?;
-    println!("traceback readback verified ({} blocks stored, first byte {:#04x})\n", tb_off / 64, first[0]);
+    println!(
+        "traceback readback verified ({} blocks stored, first byte {:#04x})\n",
+        tb_off / 64,
+        first[0]
+    );
 
     // ---- Fig 16-style overhead for one workload --------------------------
     let w = GenomeWorkload {

@@ -35,7 +35,12 @@ fn main() -> Result<(), mgx::crypto::TagMismatch> {
         let mut bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
         bytes.resize(blocks as usize * block, 0);
         for i in 0..blocks {
-            mem.write_block(region, i * block as u64, &bytes[(i as usize) * block..][..block], tagged);
+            mem.write_block(
+                region,
+                i * block as u64,
+                &bytes[(i as usize) * block..][..block],
+                tagged,
+            );
         }
     };
     let load = |mem: &MgxSecureMemory, tagged: u64| -> Result<Vec<f32>, mgx::crypto::TagMismatch> {
@@ -43,7 +48,11 @@ fn main() -> Result<(), mgx::crypto::TagMismatch> {
         for i in 0..blocks {
             bytes.extend(mem.read_block(region, i * block as u64, block, tagged)?);
         }
-        Ok(bytes.chunks_exact(4).take(g.n).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+        Ok(bytes
+            .chunks_exact(4)
+            .take(g.n)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     };
     // Iteration 1 writes with rank_write_vn; iteration 2 reads it back.
     store(&mut mem, &rank, vn.rank_write_vn());
@@ -59,7 +68,8 @@ fn main() -> Result<(), mgx::crypto::TagMismatch> {
     println!("functional secure PageRank matches plain PageRank (Σ|Δ| = {diff:.2e})\n");
 
     // ---- accelerator pass: protection overheads ------------------------
-    let trace = build_graph_trace(&g, GraphWorkload::PageRank { iters: 3 }, &GraphAccelConfig::default());
+    let trace =
+        build_graph_trace(&g, GraphWorkload::PageRank { iters: 3 }, &GraphAccelConfig::default());
     let scfg = SimConfig::overlapped(4, 800);
     let np = simulate(&trace, Scheme::NoProtection, &scfg);
     println!("{:<8} {:>10} {:>10}", "scheme", "exec×", "traffic×");

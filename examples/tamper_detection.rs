@@ -65,8 +65,5 @@ fn baseline_attacks() {
     mem.untrusted_mut().restore(layout::VN_BASE, &vns);
     mem.untrusted_mut().restore(layout::MAC_FINE_BASE, &mac);
     println!("replay      → {:?}", mem.read(0).unwrap_err());
-    println!(
-        "  (needed a {}-level integrity tree; MGX needs none)",
-        mem.tree_depth()
-    );
+    println!("  (needed a {}-level integrity tree; MGX needs none)", mem.tree_depth());
 }

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the exact API subset the MGX test-suites use, with compatible semantics:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * `any::<T>()`, integer range strategies, tuple strategies, [`strategy::Just`],
+//! * [`collection::vec`] with exact-size and range sizes,
+//! * [`prop_oneof!`] (weighted and unweighted) and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **Deterministic**: every test derives its RNG seed from the test name,
+//!   so a failure reproduces on every run and on CI. Consequently there is
+//!   no `proptest-regressions/` persistence — the seed *is* the regression
+//!   file (the directory stays `.gitignore`d in case the real crate is ever
+//!   swapped back in; see DESIGN.md).
+//! * **No shrinking**: a failing case reports its case index and message but
+//!   is not minimized.
+//!
+//! To switch to the real crate, repoint `[workspace.dependencies]` at the
+//! repo root; no test source changes are needed.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item expands to a
+/// zero-argument test that generates `cases` random instantiations of the
+/// arguments and runs the body for each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg); $($rest)*);
+    };
+    (@expand ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        ::std::panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert inside a property test; failure aborts only the current case
+/// machinery (reported with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__prop_l, __prop_r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__prop_l == *__prop_r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), __prop_l, __prop_r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__prop_l, __prop_r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*__prop_l == *__prop_r, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__prop_l, __prop_r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__prop_l != *__prop_r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), __prop_l
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__prop_l, __prop_r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*__prop_l != *__prop_r, $($fmt)+);
+    }};
+}
+
+/// Choose among strategies, optionally weighted (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

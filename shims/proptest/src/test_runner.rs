@@ -1,0 +1,103 @@
+//! Deterministic test runner state: configuration, RNG, and case errors.
+
+/// Per-`proptest!` block configuration. Mirrors
+/// `proptest::test_runner::Config` for the fields MGX uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the suites here always override
+        // with smaller CI-friendly counts, so keep the fallback modest too.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case, carrying the formatted assertion message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic value-generation RNG (splitmix64 stream).
+///
+/// Seeded from the fully-qualified test name so every run — local or CI —
+/// replays the identical case sequence. That determinism replaces real
+/// proptest's `proptest-regressions/` persistence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128 uniform bits (for modulo-reduction over wide ranges).
+    pub fn next_u128(&mut self) -> u128 {
+        (self.next_u64() as u128) << 64 | self.next_u64() as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::from_name("x::y");
+        let mut b = TestRng::from_name("x::y");
+        assert_eq!(
+            (0..16).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..16).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_names_diverge() {
+        let mut a = TestRng::from_name("x::y");
+        let mut b = TestRng::from_name("x::z");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

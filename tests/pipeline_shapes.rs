@@ -88,11 +88,7 @@ fn graph_pagerank_and_bfs_share_the_vn_scheme() {
         let e = eval(&trace, &scfg, w.label());
         let time = |s: Scheme| e.of(s).dram_cycles as f64 / e.np().dram_cycles as f64;
         assert!(time(Scheme::Mgx) < 1.08, "{} MGX {:.3}", w.label(), time(Scheme::Mgx));
-        assert!(
-            time(Scheme::Baseline) > time(Scheme::Mgx),
-            "{} BP must lose",
-            w.label()
-        );
+        assert!(time(Scheme::Baseline) > time(Scheme::Mgx), "{} BP must lose", w.label());
     }
 }
 
@@ -120,7 +116,8 @@ fn fig3_builder_collects_bp_rows_across_domains() {
         "AlexNet",
     )];
     let g = RmatGenerator::social(12, 2).generate(50_000);
-    let gtrace = build_graph_trace(&g, GraphWorkload::PageRank { iters: 2 }, &GraphAccelConfig::default());
+    let gtrace =
+        build_graph_trace(&g, GraphWorkload::PageRank { iters: 2 }, &GraphAccelConfig::default());
     let graphs = vec![eval(&gtrace, &SimConfig::overlapped(4, 800), "PR-test")];
     let fig = experiments::fig3(&inf, &train, &graphs);
     assert_eq!(fig.rows.len(), 3);

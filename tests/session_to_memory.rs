@@ -7,9 +7,7 @@
 //! the MGX memory protection unit for the actual computation.
 
 use mgx::core::secure::MgxSecureMemory;
-use mgx::core::session::{
-    AcceleratorSession, CertificateAuthority, DeviceIdentity, UserSession,
-};
+use mgx::core::session::{AcceleratorSession, CertificateAuthority, DeviceIdentity, UserSession};
 use mgx::core::vn::DnnVnState;
 use mgx::crypto::schnorr::Group;
 use mgx::trace::RegionId;
