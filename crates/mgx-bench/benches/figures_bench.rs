@@ -15,7 +15,7 @@ use mgx_h264::decoder::{build_decode_trace, DecoderConfig};
 use mgx_h264::GopStructure;
 use mgx_scalesim::{ArrayConfig, Dataflow};
 use mgx_sim::experiments::{dnn, genome, video};
-use mgx_sim::{simulate, SimConfig};
+use mgx_sim::{SimConfig, Simulation};
 use std::hint::black_box;
 
 fn fig3_fig12_fig13_dnn(c: &mut Criterion) {
@@ -28,7 +28,9 @@ fn fig3_fig12_fig13_dnn(c: &mut Criterion) {
     g.sample_size(10);
     for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
         g.bench_with_input(BenchmarkId::new("alexnet_cloud", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
+            b.iter(|| {
+                black_box(Simulation::over(&trace).config(scfg.clone()).scheme(s).run().dram_cycles)
+            })
         });
     }
     g.finish();
@@ -38,7 +40,9 @@ fn fig3_fig12_fig13_dnn(c: &mut Criterion) {
     g.sample_size(10);
     for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
         g.bench_with_input(BenchmarkId::new("alexnet_cloud", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
+            b.iter(|| {
+                black_box(Simulation::over(&trace).config(scfg.clone()).scheme(s).run().dram_cycles)
+            })
         });
     }
     g.finish();
@@ -58,7 +62,13 @@ fn fig14_graph(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("pagerank_rmat14", scheme.label()),
             &scheme,
-            |b, &s| b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles)),
+            |b, &s| {
+                b.iter(|| {
+                    black_box(
+                        Simulation::over(&trace).config(scfg.clone()).scheme(s).run().dram_cycles,
+                    )
+                })
+            },
         );
     }
     g.finish();
@@ -77,7 +87,9 @@ fn fig16_genome(c: &mut Criterion) {
     g.sample_size(10);
     for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::MgxVn] {
         g.bench_with_input(BenchmarkId::new("chrY_pacbio", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
+            b.iter(|| {
+                black_box(Simulation::over(&trace).config(scfg.clone()).scheme(s).run().dram_cycles)
+            })
         });
     }
     g.finish();
@@ -90,7 +102,9 @@ fn fig18_19_video(c: &mut Criterion) {
     g.sample_size(10);
     for scheme in [Scheme::NoProtection, Scheme::Baseline, Scheme::Mgx] {
         g.bench_with_input(BenchmarkId::new("ibpb16", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| black_box(simulate(&trace, s, &scfg).dram_cycles))
+            b.iter(|| {
+                black_box(Simulation::over(&trace).config(scfg.clone()).scheme(s).run().dram_cycles)
+            })
         });
     }
     g.finish();

@@ -8,13 +8,26 @@
 //! Figure ids: `fig3 fig12a fig12b fig13a fig13b fig14a fig14b fig16 h264
 //! pruning ablations summary`. `--quick` uses the reduced CI scale (see
 //! `mgx_sim::Scale`); the default is the standard scale recorded in
-//! EXPERIMENTS.md.
+//! EXPERIMENTS.md. `--json` switches every figure (and the summary table)
+//! to machine-readable per-scheme JSON, one object per line, for
+//! downstream plotting.
 
+use mgx_core::MetaTraffic;
 use mgx_sim::experiments::{self, dnn, genome, graph, sensitivity, video, Evaluated};
 use mgx_sim::{render, render_json, Figure, Scale};
 
 fn wants(args: &[String], id: &str) -> bool {
     args.iter().any(|a| a == id || a == "all")
+}
+
+/// Progress note: how much DRAM traffic a suite's sweep actually moved.
+fn log_volume(name: &str, evals: &[Evaluated]) {
+    let total: MetaTraffic = evals.iter().map(Evaluated::total_traffic).sum();
+    eprintln!(
+        "# {name}: {} workloads, {:.2} GiB simulated across the five schemes",
+        evals.len(),
+        total.total_bytes() as f64 / (1u64 << 30) as f64
+    );
 }
 
 fn main() {
@@ -40,19 +53,25 @@ fn main() {
 
     let dnn_inf: Vec<Evaluated> = if need_dnn_inf {
         eprintln!("# simulating DNN inference suite…");
-        dnn::evaluate_inference(&scale)
+        let e = dnn::evaluate_inference(&scale);
+        log_volume("DNN inference", &e);
+        e
     } else {
         Vec::new()
     };
     let dnn_train: Vec<Evaluated> = if need_dnn_train {
         eprintln!("# simulating DNN training suite…");
-        dnn::evaluate_training(&scale)
+        let e = dnn::evaluate_training(&scale);
+        log_volume("DNN training", &e);
+        e
     } else {
         Vec::new()
     };
     let graphs: Vec<Evaluated> = if need_graph {
         eprintln!("# simulating graph suite…");
-        graph::evaluate(&scale)
+        let e = graph::evaluate(&scale);
+        log_volume("graph", &e);
+        e
     } else {
         Vec::new()
     };
@@ -98,7 +117,11 @@ fn main() {
     }
     if wants(&args, "summary") {
         let claims = experiments::summary_claims(&dnn_inf, &dnn_train, &graphs);
-        println!("{}", experiments::render_claims(&claims));
+        if json {
+            println!("{}", experiments::render_claims_json(&claims));
+        } else {
+            println!("{}", experiments::render_claims(&claims));
+        }
     }
 }
 

@@ -112,6 +112,36 @@ impl MetaTraffic {
     }
 }
 
+impl core::ops::Add for MetaTraffic {
+    type Output = MetaTraffic;
+    fn add(self, rhs: MetaTraffic) -> MetaTraffic {
+        MetaTraffic {
+            data: self.data + rhs.data,
+            vn: self.vn + rhs.vn,
+            tree: self.tree + rhs.tree,
+            mac: self.mac + rhs.mac,
+        }
+    }
+}
+
+impl core::ops::AddAssign for MetaTraffic {
+    fn add_assign(&mut self, rhs: MetaTraffic) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::iter::Sum for MetaTraffic {
+    fn sum<I: Iterator<Item = MetaTraffic>>(iter: I) -> MetaTraffic {
+        iter.fold(MetaTraffic::default(), |a, b| a + b)
+    }
+}
+
+impl<'a> core::iter::Sum<&'a MetaTraffic> for MetaTraffic {
+    fn sum<I: Iterator<Item = &'a MetaTraffic>>(iter: I) -> MetaTraffic {
+        iter.copied().sum()
+    }
+}
+
 /// A memory-protection scheme's traffic model.
 ///
 /// Engines are stateful (metadata caches, MAC coalescing) and must see the

@@ -1,9 +1,16 @@
 //! Lowering operator graphs to memory traces (inference and training).
+//!
+//! Generation is *streaming-first*: [`stream_inference_trace`] and
+//! [`stream_training_trace`] return lazy [`TraceSource`]s that emit one
+//! op's phases at a time, so a multi-GB model never materializes its whole
+//! request stream. The `build_*` functions are the collected wrappers.
 
 use crate::models::Model;
 use crate::ops::{InputRef, Op, OpKind};
 use mgx_scalesim::{emit_gemm, gemm_cost, ArrayConfig, Dataflow, Gemm, GemmRegions};
-use mgx_trace::{DataClass, MemRequest, RegionId, Trace, TraceBuilder};
+use mgx_trace::{
+    DataClass, LazyPhases, MemRequest, Phase, PhaseSink, RegionId, RegionMap, Trace, TraceSource,
+};
 
 /// Embedding rows are f32 regardless of the MAC datatype.
 const EMB_ELEM_BYTES: u64 = 4;
@@ -23,8 +30,15 @@ struct Plan {
     tables: Vec<Tensor>,
 }
 
-struct Lowering<'m> {
-    model: &'m Model,
+/// Gradient-tensor placement for one training pass (allocated up front so
+/// the backward phases can stream without touching the region map).
+struct BackwardPlan {
+    grads: Vec<Tensor>,
+    gw: Vec<Option<Tensor>>,
+}
+
+struct Lowering {
+    model: Model,
     cfg: ArrayConfig,
     dataflow: Dataflow,
     tokens: u64,
@@ -32,20 +46,22 @@ struct Lowering<'m> {
     plans: Vec<Plan>,
 }
 
-impl<'m> Lowering<'m> {
-    fn new(model: &'m Model, cfg: &ArrayConfig, dataflow: Dataflow, b: &mut TraceBuilder) -> Self {
+fn alloc(regions: &mut RegionMap, name: String, bytes: u64, class: DataClass) -> Tensor {
+    let bytes = bytes.max(64);
+    let region = regions.alloc(name, bytes, class);
+    let base = regions.get(region).base;
+    Tensor { region, base, bytes }
+}
+
+impl Lowering {
+    fn new(model: &Model, cfg: &ArrayConfig, dataflow: Dataflow, regions: &mut RegionMap) -> Self {
+        let model = model.clone();
         let tokens = model.tokens_per_sample();
         let rows = model.batch * tokens;
         let dt = cfg.dtype_bytes;
-        let alloc = |b: &mut TraceBuilder, name: String, bytes: u64, class: DataClass| {
-            let bytes = bytes.max(64);
-            let region = b.regions_mut().alloc(name, bytes, class);
-            let base = b.regions().get(region).base;
-            Tensor { region, base, bytes }
-        };
         // External input sized by the first op's appetite.
         let first_in = in_elems_per_sample(&model.ops[0], tokens).max(1);
-        let input = alloc(b, "input".into(), model.batch * first_in * dt, DataClass::Feature);
+        let input = alloc(regions, "input".into(), model.batch * first_in * dt, DataClass::Feature);
         let mut plans = Vec::with_capacity(model.ops.len());
         for (i, op) in model.ops.iter().enumerate() {
             let out_bytes = match op.kind {
@@ -57,15 +73,20 @@ impl<'m> Lowering<'m> {
                 }
                 _ => model.batch * op.out_elems() * dt,
             };
-            let out = alloc(b, format!("{}#{i}.out", op.name), out_bytes, DataClass::Feature);
+            let out = alloc(regions, format!("{}#{i}.out", op.name), out_bytes, DataClass::Feature);
             let weights = (op.weight_elems() > 0).then(|| {
-                alloc(b, format!("{}#{i}.w", op.name), op.weight_elems() * dt, DataClass::Weight)
+                alloc(
+                    regions,
+                    format!("{}#{i}.w", op.name),
+                    op.weight_elems() * dt,
+                    DataClass::Weight,
+                )
             });
             let tables = if let OpKind::Embedding { tables, rows_per_table, dim, .. } = op.kind {
                 (0..tables)
                     .map(|t| {
                         alloc(
-                            b,
+                            regions,
                             format!("emb{t}"),
                             rows_per_table * dim * EMB_ELEM_BYTES,
                             DataClass::Embedding,
@@ -94,344 +115,335 @@ impl<'m> Lowering<'m> {
         }
     }
 
-    fn emit_forward(&self, b: &mut TraceBuilder) {
+    /// Emits the forward phases of op `i`.
+    fn emit_forward_op(&self, i: usize, sink: &mut impl PhaseSink) {
         let dt = self.cfg.dtype_bytes;
         let batch = self.model.batch;
-        for (i, op) in self.model.ops.iter().enumerate() {
-            let input = self.tensor_of(op.input, i);
-            let plan = &self.plans[i];
-            match op.kind {
-                OpKind::Conv(c) => {
-                    let w = plan.weights.expect("conv has weights");
-                    let g = c.to_gemm(batch);
-                    emit_gemm(
-                        b,
-                        &op.name,
-                        &g,
-                        &self.cfg,
-                        self.dataflow,
-                        &GemmRegions {
-                            ifmap: (input.region, input.base),
-                            ifmap_payload: batch * c.in_elems() * dt,
-                            filter: (w.region, w.base),
-                            ofmap: (plan.out.region, plan.out.base),
-                        },
-                        Some(batch * c.in_elems() * dt),
-                    );
-                }
-                OpKind::Dense { c_in, c_out } => {
-                    let w = plan.weights.expect("dense has weights");
-                    let g = Gemm { m: batch * self.tokens, k: c_in, n: c_out };
-                    emit_gemm(
-                        b,
-                        &op.name,
-                        &g,
-                        &self.cfg,
-                        self.dataflow,
-                        &GemmRegions {
-                            ifmap: (input.region, input.base),
-                            ifmap_payload: input.bytes,
-                            filter: (w.region, w.base),
-                            ofmap: (plan.out.region, plan.out.base),
-                        },
-                        None,
-                    );
-                }
-                OpKind::BatchedMatmul { b: heads, m, k, n } => {
-                    let per = gemm_cost(&Gemm { m, k, n }, &self.cfg, self.dataflow, None);
-                    let count = batch * heads;
-                    let a_bytes = count * m * k * dt;
-                    let b_bytes = count * k * n * dt;
-                    let c_bytes = count * m * n * dt;
-                    emit_chunked(
-                        b,
-                        &op.name,
-                        count * per.compute_cycles,
-                        &[(input, a_bytes), (input, b_bytes)],
-                        &[(plan.out, c_bytes)],
-                    );
-                }
-                OpKind::Depthwise(c) => {
-                    let w = plan.weights.expect("depthwise has weights");
-                    // Per channel: a GEMM of shape (batch·out_pix, r·s, 1);
-                    // the array processes one channel's fold at a time.
-                    let per = gemm_cost(
-                        &Gemm { m: batch * c.out_h() * c.out_w(), k: c.r * c.s, n: 1 },
-                        &self.cfg,
-                        self.dataflow,
-                        None,
-                    );
-                    emit_chunked(
-                        b,
-                        &op.name,
-                        c.c_in * per.compute_cycles,
-                        &[(input, batch * c.in_elems() * dt), (w, w.bytes)],
-                        &[(plan.out, batch * c.out_elems() * dt)],
-                    );
-                }
-                OpKind::Stream { in_elems, out_elems } => {
-                    let cycles = (batch * in_elems).div_ceil(self.cfg.rows);
-                    emit_chunked(
-                        b,
-                        &op.name,
-                        cycles,
-                        &[(input, batch * in_elems * dt)],
-                        &[(plan.out, batch * out_elems * dt)],
-                    );
-                }
-                OpKind::Add { elems, extra } => {
-                    let other = self.tensor_of(extra, i);
-                    let cycles = (batch * elems).div_ceil(self.cfg.rows);
-                    emit_chunked(
-                        b,
-                        &op.name,
-                        cycles,
-                        &[(input, batch * elems * dt), (other, batch * elems * dt)],
-                        &[(plan.out, batch * elems * dt)],
-                    );
-                }
-                OpKind::Embedding { tables, rows_per_table, dim, lookups } => {
-                    b.begin_phase(op.name.clone(), batch * tables * lookups);
-                    let row_bytes = dim * EMB_ELEM_BYTES;
-                    let mut rng = 0x9e3779b97f4a7c15u64 ^ (i as u64);
-                    for s in 0..batch {
-                        for (t, table) in plan.tables.iter().enumerate() {
-                            for _ in 0..lookups {
-                                rng = rng
-                                    .wrapping_mul(6364136223846793005)
-                                    .wrapping_add(1442695040888963407);
-                                let row = rng % rows_per_table;
-                                b.push(MemRequest::read(
-                                    table.region,
-                                    table.base + row * row_bytes,
-                                    row_bytes,
-                                ));
-                                let _ = (s, t);
-                            }
+        let op = &self.model.ops[i];
+        let input = self.tensor_of(op.input, i);
+        let plan = &self.plans[i];
+        match op.kind {
+            OpKind::Conv(c) => {
+                let w = plan.weights.expect("conv has weights");
+                let g = c.to_gemm(batch);
+                emit_gemm(
+                    sink,
+                    &op.name,
+                    &g,
+                    &self.cfg,
+                    self.dataflow,
+                    &GemmRegions {
+                        ifmap: (input.region, input.base),
+                        ifmap_payload: batch * c.in_elems() * dt,
+                        filter: (w.region, w.base),
+                        ofmap: (plan.out.region, plan.out.base),
+                    },
+                    Some(batch * c.in_elems() * dt),
+                );
+            }
+            OpKind::Dense { c_in, c_out } => {
+                let w = plan.weights.expect("dense has weights");
+                let g = Gemm { m: batch * self.tokens, k: c_in, n: c_out };
+                emit_gemm(
+                    sink,
+                    &op.name,
+                    &g,
+                    &self.cfg,
+                    self.dataflow,
+                    &GemmRegions {
+                        ifmap: (input.region, input.base),
+                        ifmap_payload: input.bytes,
+                        filter: (w.region, w.base),
+                        ofmap: (plan.out.region, plan.out.base),
+                    },
+                    None,
+                );
+            }
+            OpKind::BatchedMatmul { b: heads, m, k, n } => {
+                let per = gemm_cost(&Gemm { m, k, n }, &self.cfg, self.dataflow, None);
+                let count = batch * heads;
+                let a_bytes = count * m * k * dt;
+                let b_bytes = count * k * n * dt;
+                let c_bytes = count * m * n * dt;
+                emit_chunked(
+                    sink,
+                    &op.name,
+                    count * per.compute_cycles,
+                    &[(input, a_bytes), (input, b_bytes)],
+                    &[(plan.out, c_bytes)],
+                );
+            }
+            OpKind::Depthwise(c) => {
+                let w = plan.weights.expect("depthwise has weights");
+                // Per channel: a GEMM of shape (batch·out_pix, r·s, 1);
+                // the array processes one channel's fold at a time.
+                let per = gemm_cost(
+                    &Gemm { m: batch * c.out_h() * c.out_w(), k: c.r * c.s, n: 1 },
+                    &self.cfg,
+                    self.dataflow,
+                    None,
+                );
+                emit_chunked(
+                    sink,
+                    &op.name,
+                    c.c_in * per.compute_cycles,
+                    &[(input, batch * c.in_elems() * dt), (w, w.bytes)],
+                    &[(plan.out, batch * c.out_elems() * dt)],
+                );
+            }
+            OpKind::Stream { in_elems, out_elems } => {
+                let cycles = (batch * in_elems).div_ceil(self.cfg.rows);
+                emit_chunked(
+                    sink,
+                    &op.name,
+                    cycles,
+                    &[(input, batch * in_elems * dt)],
+                    &[(plan.out, batch * out_elems * dt)],
+                );
+            }
+            OpKind::Add { elems, extra } => {
+                let other = self.tensor_of(extra, i);
+                let cycles = (batch * elems).div_ceil(self.cfg.rows);
+                emit_chunked(
+                    sink,
+                    &op.name,
+                    cycles,
+                    &[(input, batch * elems * dt), (other, batch * elems * dt)],
+                    &[(plan.out, batch * elems * dt)],
+                );
+            }
+            OpKind::Embedding { tables, rows_per_table, dim, lookups } => {
+                sink.begin_phase(op.name.clone(), batch * tables * lookups);
+                let row_bytes = dim * EMB_ELEM_BYTES;
+                let mut rng = 0x9e3779b97f4a7c15u64 ^ (i as u64);
+                for s in 0..batch {
+                    for (t, table) in plan.tables.iter().enumerate() {
+                        for _ in 0..lookups {
+                            rng = rng
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let row = rng % rows_per_table;
+                            sink.push(MemRequest::read(
+                                table.region,
+                                table.base + row * row_bytes,
+                                row_bytes,
+                            ));
+                            let _ = (s, t);
                         }
                     }
-                    b.push(MemRequest::write(
-                        plan.out.region,
-                        plan.out.base,
-                        batch * tables * lookups * row_bytes,
-                    ));
                 }
+                sink.push(MemRequest::write(
+                    plan.out.region,
+                    plan.out.base,
+                    batch * tables * lookups * row_bytes,
+                ));
             }
         }
     }
 
-    /// Backpropagation (paper §IV-A): per layer, dX and dW GEMMs plus the
-    /// re-read of saved forward activations. Weight updates themselves are
-    /// not emulated (§VI-A).
-    fn emit_backward(&self, b: &mut TraceBuilder) {
+    /// Allocates the gradient tensors of one backward pass (paper §IV-A):
+    /// per op output a gradient the size of the forward activation, plus a
+    /// weight-gradient tensor for every parametrized op.
+    fn plan_backward(&self, regions: &mut RegionMap) -> BackwardPlan {
         let dt = self.cfg.dtype_bytes;
         let batch = self.model.batch;
-        // Gradient tensor per op output, same payload size as the forward
-        // activation (in dtype units).
-        let grads: Vec<Tensor> = self
+        let grads = self
             .model
             .ops
             .iter()
             .enumerate()
             .map(|(i, op)| {
                 let bytes = (batch * op.out_elems() * dt).max(64) * self.tokens_factor(op);
-                let region = b.regions_mut().alloc(
-                    format!("{}#{i}.grad", op.name),
-                    bytes,
-                    DataClass::Gradient,
-                );
-                let base = b.regions().get(region).base;
-                Tensor { region, base, bytes }
+                alloc(regions, format!("{}#{i}.grad", op.name), bytes, DataClass::Gradient)
             })
             .collect();
-        let gw: Vec<Option<Tensor>> = self
+        let gw = self
             .model
             .ops
             .iter()
             .enumerate()
             .map(|(i, op)| {
                 (op.weight_elems() > 0).then(|| {
-                    let region = b.regions_mut().alloc(
+                    alloc(
+                        regions,
                         format!("{}#{i}.gw", op.name),
                         op.weight_elems() * dt,
                         DataClass::Gradient,
-                    );
-                    let base = b.regions().get(region).base;
-                    Tensor { region, base, bytes: op.weight_elems() * dt }
+                    )
                 })
             })
             .collect();
+        BackwardPlan { grads, gw }
+    }
 
-        // Loss layer writes the seed gradient.
+    /// The loss layer writes the seed gradient.
+    fn emit_loss(&self, plan: &BackwardPlan, sink: &mut impl PhaseSink) {
         let last = self.model.ops.len() - 1;
-        b.begin_phase("loss", 1000);
-        b.push(MemRequest::write(
-            grads[last].region,
-            grads[last].base,
-            grads[last].bytes.min(1 << 20),
+        sink.begin_phase("loss", 1000);
+        sink.push(MemRequest::write(
+            plan.grads[last].region,
+            plan.grads[last].base,
+            plan.grads[last].bytes.min(1 << 20),
         ));
+    }
 
-        for (i, op) in self.model.ops.iter().enumerate().rev() {
-            let gy = grads[i];
-            let x = self.tensor_of(op.input, i);
-            let gx = match op.input {
-                InputRef::External => None,
-                InputRef::Prev => (i > 0).then(|| grads[i - 1]),
-                InputRef::Op(j) => Some(grads[j]),
-            };
-            match op.kind {
-                OpKind::Conv(c) => {
-                    let w = self.plans[i].weights.expect("conv weights");
-                    let g = c.to_gemm(batch);
-                    // dX = gy ⊛ wᵀ.
-                    let dx_cost =
-                        gemm_cost(&Gemm { m: g.m, k: g.n, n: g.k }, &self.cfg, self.dataflow, None);
-                    let gy_bytes = batch * c.out_elems() * dt;
-                    if let Some(gx) = gx {
-                        emit_chunked(
-                            b,
-                            &format!("{}.dx", op.name),
-                            dx_cost.compute_cycles,
-                            &[(gy, gy_bytes), (w, w.bytes)],
-                            &[(gx, batch * c.in_elems() * dt)],
-                        );
-                    }
-                    // dW = xᵀ · gy.
-                    let dw_cost =
-                        gemm_cost(&Gemm { m: g.k, k: g.m, n: g.n }, &self.cfg, self.dataflow, None);
+    /// Emits the backward phases of op `i`: dX and dW GEMMs plus the
+    /// re-read of saved forward activations (§IV-A). Weight updates
+    /// themselves are separate (§VI-A).
+    fn emit_backward_op(&self, plan: &BackwardPlan, i: usize, sink: &mut impl PhaseSink) {
+        let dt = self.cfg.dtype_bytes;
+        let batch = self.model.batch;
+        let op = &self.model.ops[i];
+        let gy = plan.grads[i];
+        let x = self.tensor_of(op.input, i);
+        let gx = match op.input {
+            InputRef::External => None,
+            InputRef::Prev => (i > 0).then(|| plan.grads[i - 1]),
+            InputRef::Op(j) => Some(plan.grads[j]),
+        };
+        match op.kind {
+            OpKind::Conv(c) => {
+                let w = self.plans[i].weights.expect("conv weights");
+                let g = c.to_gemm(batch);
+                // dX = gy ⊛ wᵀ.
+                let dx_cost =
+                    gemm_cost(&Gemm { m: g.m, k: g.n, n: g.k }, &self.cfg, self.dataflow, None);
+                let gy_bytes = batch * c.out_elems() * dt;
+                if let Some(gx) = gx {
                     emit_chunked(
-                        b,
-                        &format!("{}.dw", op.name),
-                        dw_cost.compute_cycles,
-                        &[(x, batch * c.in_elems() * dt), (gy, gy_bytes)],
-                        &[(gw[i].expect("conv gw"), op.weight_elems() * dt)],
+                        sink,
+                        &format!("{}.dx", op.name),
+                        dx_cost.compute_cycles,
+                        &[(gy, gy_bytes), (w, w.bytes)],
+                        &[(gx, batch * c.in_elems() * dt)],
                     );
                 }
-                OpKind::Dense { c_in, c_out } => {
-                    let w = self.plans[i].weights.expect("dense weights");
-                    let rows = batch * self.tokens;
-                    let gy_bytes = rows * c_out * dt;
-                    let dx_cost = gemm_cost(
-                        &Gemm { m: rows, k: c_out, n: c_in },
-                        &self.cfg,
-                        self.dataflow,
-                        None,
-                    );
-                    if let Some(gx) = gx {
-                        emit_chunked(
-                            b,
-                            &format!("{}.dx", op.name),
-                            dx_cost.compute_cycles,
-                            &[(gy, gy_bytes), (w, w.bytes)],
-                            &[(gx, rows * c_in * dt)],
-                        );
-                    }
-                    let dw_cost = gemm_cost(
-                        &Gemm { m: c_in, k: rows, n: c_out },
-                        &self.cfg,
-                        self.dataflow,
-                        None,
-                    );
+                // dW = xᵀ · gy.
+                let dw_cost =
+                    gemm_cost(&Gemm { m: g.k, k: g.m, n: g.n }, &self.cfg, self.dataflow, None);
+                emit_chunked(
+                    sink,
+                    &format!("{}.dw", op.name),
+                    dw_cost.compute_cycles,
+                    &[(x, batch * c.in_elems() * dt), (gy, gy_bytes)],
+                    &[(plan.gw[i].expect("conv gw"), op.weight_elems() * dt)],
+                );
+            }
+            OpKind::Dense { c_in, c_out } => {
+                let w = self.plans[i].weights.expect("dense weights");
+                let rows = batch * self.tokens;
+                let gy_bytes = rows * c_out * dt;
+                let dx_cost =
+                    gemm_cost(&Gemm { m: rows, k: c_out, n: c_in }, &self.cfg, self.dataflow, None);
+                if let Some(gx) = gx {
                     emit_chunked(
-                        b,
-                        &format!("{}.dw", op.name),
-                        dw_cost.compute_cycles,
-                        &[(x, rows * c_in * dt), (gy, gy_bytes)],
-                        &[(gw[i].expect("dense gw"), op.weight_elems() * dt)],
+                        sink,
+                        &format!("{}.dx", op.name),
+                        dx_cost.compute_cycles,
+                        &[(gy, gy_bytes), (w, w.bytes)],
+                        &[(gx, rows * c_in * dt)],
                     );
                 }
-                OpKind::BatchedMatmul { b: heads, m, k, n } => {
-                    let per = gemm_cost(&Gemm { m, k, n }, &self.cfg, self.dataflow, None);
-                    let count = batch * heads;
-                    let gy_bytes = count * m * n * dt;
-                    if let Some(gx) = gx {
-                        emit_chunked(
-                            b,
-                            &format!("{}.bwd", op.name),
-                            2 * count * per.compute_cycles,
-                            &[(gy, gy_bytes), (x, count * m * k * dt), (x, count * k * n * dt)],
-                            &[(gx, count * m * k * dt), (gx, count * k * n * dt)],
-                        );
-                    }
-                }
-                OpKind::Depthwise(c) => {
-                    let w = self.plans[i].weights.expect("depthwise weights");
-                    let gy_bytes = batch * c.out_elems() * dt;
-                    let per = gemm_cost(
-                        &Gemm { m: batch * c.out_h() * c.out_w(), k: c.r * c.s, n: 1 },
-                        &self.cfg,
-                        self.dataflow,
-                        None,
-                    );
-                    if let Some(gx) = gx {
-                        emit_chunked(
-                            b,
-                            &format!("{}.dx", op.name),
-                            c.c_in * per.compute_cycles,
-                            &[(gy, gy_bytes), (w, w.bytes)],
-                            &[(gx, batch * c.in_elems() * dt)],
-                        );
-                    }
+                let dw_cost =
+                    gemm_cost(&Gemm { m: c_in, k: rows, n: c_out }, &self.cfg, self.dataflow, None);
+                emit_chunked(
+                    sink,
+                    &format!("{}.dw", op.name),
+                    dw_cost.compute_cycles,
+                    &[(x, rows * c_in * dt), (gy, gy_bytes)],
+                    &[(plan.gw[i].expect("dense gw"), op.weight_elems() * dt)],
+                );
+            }
+            OpKind::BatchedMatmul { b: heads, m, k, n } => {
+                let per = gemm_cost(&Gemm { m, k, n }, &self.cfg, self.dataflow, None);
+                let count = batch * heads;
+                let gy_bytes = count * m * n * dt;
+                if let Some(gx) = gx {
                     emit_chunked(
-                        b,
-                        &format!("{}.dw", op.name),
+                        sink,
+                        &format!("{}.bwd", op.name),
+                        2 * count * per.compute_cycles,
+                        &[(gy, gy_bytes), (x, count * m * k * dt), (x, count * k * n * dt)],
+                        &[(gx, count * m * k * dt), (gx, count * k * n * dt)],
+                    );
+                }
+            }
+            OpKind::Depthwise(c) => {
+                let w = self.plans[i].weights.expect("depthwise weights");
+                let gy_bytes = batch * c.out_elems() * dt;
+                let per = gemm_cost(
+                    &Gemm { m: batch * c.out_h() * c.out_w(), k: c.r * c.s, n: 1 },
+                    &self.cfg,
+                    self.dataflow,
+                    None,
+                );
+                if let Some(gx) = gx {
+                    emit_chunked(
+                        sink,
+                        &format!("{}.dx", op.name),
                         c.c_in * per.compute_cycles,
-                        &[(x, batch * c.in_elems() * dt), (gy, gy_bytes)],
-                        &[(gw[i].expect("depthwise gw"), op.weight_elems() * dt)],
+                        &[(gy, gy_bytes), (w, w.bytes)],
+                        &[(gx, batch * c.in_elems() * dt)],
                     );
                 }
-                OpKind::Stream { in_elems, out_elems } => {
-                    if let Some(gx) = gx {
-                        let cycles = (batch * out_elems).div_ceil(self.cfg.rows);
-                        emit_chunked(
-                            b,
-                            &format!("{}.bwd", op.name),
-                            cycles,
-                            &[(gy, batch * out_elems * dt)],
-                            &[(gx, batch * in_elems * dt)],
-                        );
-                    }
+                emit_chunked(
+                    sink,
+                    &format!("{}.dw", op.name),
+                    c.c_in * per.compute_cycles,
+                    &[(x, batch * c.in_elems() * dt), (gy, gy_bytes)],
+                    &[(plan.gw[i].expect("depthwise gw"), op.weight_elems() * dt)],
+                );
+            }
+            OpKind::Stream { in_elems, out_elems } => {
+                if let Some(gx) = gx {
+                    let cycles = (batch * out_elems).div_ceil(self.cfg.rows);
+                    emit_chunked(
+                        sink,
+                        &format!("{}.bwd", op.name),
+                        cycles,
+                        &[(gy, batch * out_elems * dt)],
+                        &[(gx, batch * in_elems * dt)],
+                    );
                 }
-                OpKind::Add { elems, extra } => {
-                    // Gradient broadcasts to both branches (Fig 8b).
-                    let bytes = batch * elems * dt;
-                    let cycles = (batch * elems).div_ceil(self.cfg.rows);
-                    let mut writes = Vec::new();
-                    if let Some(gx) = gx {
-                        writes.push((gx, bytes));
-                    }
-                    if let InputRef::Op(j) = extra {
-                        writes.push((grads[j], bytes));
-                    }
-                    emit_chunked(b, &format!("{}.bwd", op.name), cycles, &[(gy, bytes)], &writes);
+            }
+            OpKind::Add { elems, extra } => {
+                // Gradient broadcasts to both branches (Fig 8b).
+                let bytes = batch * elems * dt;
+                let cycles = (batch * elems).div_ceil(self.cfg.rows);
+                let mut writes = Vec::new();
+                if let Some(gx) = gx {
+                    writes.push((gx, bytes));
                 }
-                OpKind::Embedding { .. } => {
-                    // DLRM is inference-only in the paper's evaluation.
+                if let InputRef::Op(j) = extra {
+                    writes.push((plan.grads[j], bytes));
                 }
+                emit_chunked(sink, &format!("{}.bwd", op.name), cycles, &[(gy, bytes)], &writes);
+            }
+            OpKind::Embedding { .. } => {
+                // DLRM is inference-only in the paper's evaluation.
             }
         }
     }
 
-    /// SGD update: stream every weight tensor (and its gradient, stored
-    /// right after the backward pass) through the vector unit and write the
+    /// SGD update for op `i` (no-op for weightless ops): stream the weight
+    /// tensor and its gradient through the vector unit and write the
     /// weights back once — the single `VN_W` increment of §IV-C.
-    fn emit_weight_update(&self, b: &mut TraceBuilder) {
+    fn emit_weight_update_op(&self, i: usize, sink: &mut impl PhaseSink) {
         let dt = self.cfg.dtype_bytes;
-        for (i, op) in self.model.ops.iter().enumerate() {
-            let Some(w) = self.plans[i].weights else { continue };
-            let elems = op.weight_elems();
-            let cycles = elems.div_ceil(self.cfg.rows);
-            b.begin_phase(format!("{}.update", op.name), cycles);
-            b.push(MemRequest::read(w.region, w.base, elems * dt));
-            // The gradient tensor was the last thing the backward pass
-            // wrote for this op; re-reading it from its region is exact in
-            // volume and class (Gradient), which is all the protection
-            // model consumes. Reuse the weight region for volume and emit
-            // the gradient read against the weight gradient region when it
-            // exists in the trace (training builds always allocate it).
-            b.push(MemRequest::read(w.region, w.base, elems * dt));
-            b.push(MemRequest::write(w.region, w.base, elems * dt));
-        }
+        let op = &self.model.ops[i];
+        let Some(w) = self.plans[i].weights else { return };
+        let elems = op.weight_elems();
+        let cycles = elems.div_ceil(self.cfg.rows);
+        sink.begin_phase(format!("{}.update", op.name), cycles);
+        sink.push(MemRequest::read(w.region, w.base, elems * dt));
+        // The gradient tensor was the last thing the backward pass
+        // wrote for this op; re-reading it from its region is exact in
+        // volume and class (Gradient), which is all the protection
+        // model consumes. Reuse the weight region for volume and emit
+        // the gradient read against the weight gradient region when it
+        // exists in the trace (training builds always allocate it).
+        sink.push(MemRequest::read(w.region, w.base, elems * dt));
+        sink.push(MemRequest::write(w.region, w.base, elems * dt));
     }
 
     fn tokens_factor(&self, op: &Op) -> u64 {
@@ -460,7 +472,7 @@ fn in_elems_per_sample(op: &Op, tokens: u64) -> u64 {
 /// proportionally. Used for streaming ops and backward GEMMs where
 /// fold-exact phasing adds nothing.
 fn emit_chunked(
-    b: &mut TraceBuilder,
+    sink: &mut impl PhaseSink,
     label: &str,
     cycles: u64,
     reads: &[(Tensor, u64)],
@@ -475,28 +487,94 @@ fn emit_chunked(
         (off, len)
     };
     for p in 0..phases {
-        b.begin_phase(format!("{label}[{p}]"), cycles / phases);
+        sink.begin_phase(format!("{label}[{p}]"), cycles / phases);
         for &(t, bytes) in reads {
             let (off, len) = slice(bytes.min(t.bytes), p);
             if len > 0 {
-                b.push(MemRequest::read(t.region, t.base + off, len));
+                sink.push(MemRequest::read(t.region, t.base + off, len));
             }
         }
         for &(t, bytes) in writes {
             let (off, len) = slice(bytes.min(t.bytes), p);
             if len > 0 {
-                b.push(MemRequest::write(t.region, t.base + off, len));
+                sink.push(MemRequest::write(t.region, t.base + off, len));
             }
         }
     }
 }
 
-/// Builds the inference trace of `model` on the given accelerator.
+/// Streams the inference phases of `model` on the given accelerator: one
+/// op's phases are resident at a time, however deep the network.
+pub fn stream_inference_trace(
+    model: &Model,
+    cfg: &ArrayConfig,
+    dataflow: Dataflow,
+) -> impl TraceSource<Phases = impl Iterator<Item = Phase>> {
+    let mut regions = RegionMap::new();
+    let lowering = Lowering::new(model, cfg, dataflow, &mut regions);
+    let n = lowering.model.ops.len();
+    let mut op = 0usize;
+    let phases = LazyPhases::new(move |buf| {
+        if op >= n {
+            return false;
+        }
+        lowering.emit_forward_op(op, buf);
+        op += 1;
+        op < n
+    });
+    (regions, phases)
+}
+
+/// Streams one training iteration (forward + backward, §IV-A), optionally
+/// followed by the SGD weight-update pass — the streaming core behind
+/// [`build_training_trace`] / [`build_training_trace_with_update`].
+pub fn stream_training_trace_with_update(
+    model: &Model,
+    cfg: &ArrayConfig,
+    dataflow: Dataflow,
+    update_weights: bool,
+) -> impl TraceSource<Phases = impl Iterator<Item = Phase>> {
+    let mut regions = RegionMap::new();
+    let lowering = Lowering::new(model, cfg, dataflow, &mut regions);
+    let plan = lowering.plan_backward(&mut regions);
+    let n = lowering.model.ops.len();
+    // Steps: forward ops 0..n, the loss seed, backward ops n-1..0, and
+    // (optionally) one weight-update step per op.
+    let total = 2 * n + 1 + if update_weights { n } else { 0 };
+    let mut step = 0usize;
+    let phases = LazyPhases::new(move |buf| {
+        if step >= total {
+            return false;
+        }
+        if step < n {
+            lowering.emit_forward_op(step, buf);
+        } else if step == n {
+            lowering.emit_loss(&plan, buf);
+        } else if step <= 2 * n {
+            lowering.emit_backward_op(&plan, 2 * n - step, buf);
+        } else {
+            lowering.emit_weight_update_op(step - 2 * n - 1, buf);
+        }
+        step += 1;
+        step < total
+    });
+    (regions, phases)
+}
+
+/// Streams one training iteration without the weight-update pass (the
+/// paper's methodology, §VI-A).
+pub fn stream_training_trace(
+    model: &Model,
+    cfg: &ArrayConfig,
+    dataflow: Dataflow,
+) -> impl TraceSource<Phases = impl Iterator<Item = Phase>> {
+    stream_training_trace_with_update(model, cfg, dataflow, false)
+}
+
+/// Builds the inference trace of `model` on the given accelerator (the
+/// collected form of [`stream_inference_trace`]).
 pub fn build_inference_trace(model: &Model, cfg: &ArrayConfig, dataflow: Dataflow) -> Trace {
-    let mut b = TraceBuilder::new();
-    let lowering = Lowering::new(model, cfg, dataflow, &mut b);
-    lowering.emit_forward(&mut b);
-    b.finish()
+    stream_inference_trace(model, cfg, dataflow).collect_trace()
 }
 
 /// Builds one training iteration (forward + backward, §IV-A) of `model`.
@@ -505,7 +583,7 @@ pub fn build_inference_trace(model: &Model, cfg: &ArrayConfig, dataflow: Dataflo
 /// (§VI-A: "no similar operation is available in SCALE-Sim"). Use
 /// [`build_training_trace_with_update`] to include them.
 pub fn build_training_trace(model: &Model, cfg: &ArrayConfig, dataflow: Dataflow) -> Trace {
-    build_training_trace_with_update(model, cfg, dataflow, false)
+    stream_training_trace(model, cfg, dataflow).collect_trace()
 }
 
 /// [`build_training_trace`] with an optional SGD weight-update pass
@@ -517,14 +595,7 @@ pub fn build_training_trace_with_update(
     dataflow: Dataflow,
     update_weights: bool,
 ) -> Trace {
-    let mut b = TraceBuilder::new();
-    let lowering = Lowering::new(model, cfg, dataflow, &mut b);
-    lowering.emit_forward(&mut b);
-    lowering.emit_backward(&mut b);
-    if update_weights {
-        lowering.emit_weight_update(&mut b);
-    }
-    b.finish()
+    stream_training_trace_with_update(model, cfg, dataflow, update_weights).collect_trace()
 }
 
 #[cfg(test)]
@@ -650,5 +721,25 @@ mod tests {
         let t = build_inference_trace(&model, &cloud(), Dataflow::WeightStationary);
         assert!(t.phases.len() > 60, "one+ phase per layer, got {}", t.phases.len());
         assert!(t.phases.iter().all(|p| !p.requests.is_empty() || p.compute_cycles > 0));
+    }
+
+    /// The streamed source and its collected twin agree phase by phase —
+    /// region layout, labels, compute, and every request.
+    #[test]
+    fn streamed_matches_collected_for_training() {
+        let model = Model::alexnet(1);
+        let collected = build_training_trace(&model, &cloud(), Dataflow::WeightStationary);
+        let (regions, phases) =
+            stream_training_trace(&model, &cloud(), Dataflow::WeightStationary).into_stream();
+        assert_eq!(regions.len(), collected.regions.len());
+        assert_eq!(regions.footprint(), collected.regions.footprint());
+        let mut count = 0usize;
+        for (s, e) in phases.zip(&collected.phases) {
+            assert_eq!(s.label, e.label);
+            assert_eq!(s.compute_cycles, e.compute_cycles);
+            assert_eq!(s.requests, e.requests, "phase {} diverged", s.label);
+            count += 1;
+        }
+        assert_eq!(count, collected.phases.len());
     }
 }

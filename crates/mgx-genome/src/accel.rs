@@ -16,7 +16,9 @@
 use crate::dsoft::{dsoft, DsoftParams};
 use crate::index::SeedIndex;
 use crate::sequence::{ErrorProfile, ReadSimulator, Reference};
-use mgx_trace::{DataClass, MemRequest, Trace, TraceBuilder};
+use mgx_trace::{
+    DataClass, LazyPhases, MemRequest, Phase, PhaseSink, RegionMap, Trace, TraceSource,
+};
 
 /// GACT array farm configuration (§VII-A: 64 arrays × 64 PEs @ 800 MHz).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,8 +87,85 @@ impl GenomeWorkload {
     }
 }
 
-/// Builds the GACT memory trace for `reads` simulated reads of
-/// `read_len` bases against a `1/scale_divisor`-scale synthetic chromosome.
+/// Streams the GACT memory trace for `reads` simulated reads of
+/// `read_len` bases against a `1/scale_divisor`-scale synthetic chromosome:
+/// reads are sampled, D-SOFT-filtered, and emitted one at a time, so the
+/// resident state is one read's candidate tiles — a full-depth sequencing
+/// run never materializes.
+///
+/// # Panics
+///
+/// Panics if `scale_divisor == 0` or the scaled reference is shorter than
+/// one read.
+pub fn stream_gact_trace(
+    workload: &GenomeWorkload,
+    cfg: &GactAccelConfig,
+    reads: usize,
+    read_len: usize,
+    scale_divisor: usize,
+    seed: u64,
+) -> impl TraceSource<Phases = impl Iterator<Item = Phase>> {
+    assert!(scale_divisor > 0, "scale divisor must be positive");
+    let ref_len = (workload.full_len / scale_divisor).max(read_len * 4);
+    let reference = Reference::synthesize(workload.chromosome, ref_len, seed);
+    let index = SeedIndex::build(&reference.seq, 12);
+    let mut sim = ReadSimulator::new(workload.profile, read_len, seed ^ 0x5eed);
+    let params = DsoftParams { threshold: 16, ..DsoftParams::default() };
+
+    let mut regions = RegionMap::new();
+    let ref_region = regions.alloc(
+        "reference",
+        (ref_len as u64 * cfg.ref_entry_bytes).max(64),
+        DataClass::Reference,
+    );
+    let query_region = regions.alloc("queries", (reads * read_len * 2) as u64, DataClass::Query);
+    // Generous traceback arena: path ≤ 2·tile steps per tile.
+    let tiles_upper = reads as u64 * ((read_len / cfg.tile) as u64 + 2) * 4;
+    let tb_region = regions.alloc(
+        "traceback",
+        (tiles_upper * cfg.traceback_bytes()).max(64),
+        DataClass::Traceback,
+    );
+    let (ref_base, q_base, tb_base) =
+        (regions.get(ref_region).base, regions.get(query_region).base, regions.get(tb_region).base);
+
+    let cfg = *cfg;
+    let label = workload.label();
+    let tile = cfg.tile as u64;
+    let mut tb_off = 0u64;
+    let mut q_off = 0u64;
+    let mut r = 0usize;
+    let phases = LazyPhases::new(move |buf| {
+        if r >= reads {
+            return false;
+        }
+        let read = sim.sample(&reference);
+        let candidates = dsoft(&index, &read.seq, &params);
+        let chosen: Vec<u32> = candidates.iter().take(2).map(|c| c.ref_pos).collect();
+        let tiles_per_read = (read.seq.len() as u64).div_ceil(tile);
+        for cand in chosen {
+            for t in 0..tiles_per_read {
+                let ref_pos = (cand as u64 + t * tile).min(ref_len as u64 - tile);
+                buf.begin_phase(format!("{label} tile@{ref_pos}"), cfg.tile_cycles());
+                buf.push(MemRequest::read(
+                    ref_region,
+                    ref_base + ref_pos * cfg.ref_entry_bytes,
+                    tile * cfg.ref_entry_bytes,
+                ));
+                buf.push(MemRequest::read(query_region, q_base + q_off + t * tile, tile));
+                buf.push(MemRequest::write(tb_region, tb_base + tb_off, cfg.traceback_bytes()));
+                tb_off += cfg.traceback_bytes();
+            }
+        }
+        q_off += tiles_per_read * tile;
+        r += 1;
+        r < reads
+    });
+    (regions, phases)
+}
+
+/// Builds the GACT memory trace (the collected form of
+/// [`stream_gact_trace`]).
 ///
 /// # Panics
 ///
@@ -100,58 +179,7 @@ pub fn build_gact_trace(
     scale_divisor: usize,
     seed: u64,
 ) -> Trace {
-    assert!(scale_divisor > 0, "scale divisor must be positive");
-    let ref_len = (workload.full_len / scale_divisor).max(read_len * 4);
-    let reference = Reference::synthesize(workload.chromosome, ref_len, seed);
-    let index = SeedIndex::build(&reference.seq, 12);
-    let mut sim = ReadSimulator::new(workload.profile, read_len, seed ^ 0x5eed);
-    let params = DsoftParams { threshold: 16, ..DsoftParams::default() };
-
-    let mut b = TraceBuilder::new();
-    let ref_region = b.regions_mut().alloc(
-        "reference",
-        (ref_len as u64 * cfg.ref_entry_bytes).max(64),
-        DataClass::Reference,
-    );
-    let query_region =
-        b.regions_mut().alloc("queries", (reads * read_len * 2) as u64, DataClass::Query);
-    // Generous traceback arena: path ≤ 2·tile steps per tile.
-    let tiles_upper = reads as u64 * ((read_len / cfg.tile) as u64 + 2) * 4;
-    let tb_region = b.regions_mut().alloc(
-        "traceback",
-        (tiles_upper * cfg.traceback_bytes()).max(64),
-        DataClass::Traceback,
-    );
-    let (ref_base, q_base, tb_base) = {
-        let r = b.regions();
-        (r.get(ref_region).base, r.get(query_region).base, r.get(tb_region).base)
-    };
-
-    let tile = cfg.tile as u64;
-    let mut tb_off = 0u64;
-    let mut q_off = 0u64;
-    for _ in 0..reads {
-        let read = sim.sample(&reference);
-        let candidates = dsoft(&index, &read.seq, &params);
-        let chosen: Vec<u32> = candidates.iter().take(2).map(|c| c.ref_pos).collect();
-        let tiles_per_read = (read.seq.len() as u64).div_ceil(tile);
-        for cand in chosen {
-            for t in 0..tiles_per_read {
-                let ref_pos = (cand as u64 + t * tile).min(ref_len as u64 - tile);
-                b.begin_phase(format!("{} tile@{ref_pos}", workload.label()), cfg.tile_cycles());
-                b.push(MemRequest::read(
-                    ref_region,
-                    ref_base + ref_pos * cfg.ref_entry_bytes,
-                    tile * cfg.ref_entry_bytes,
-                ));
-                b.push(MemRequest::read(query_region, q_base + q_off + t * tile, tile));
-                b.push(MemRequest::write(tb_region, tb_base + tb_off, cfg.traceback_bytes()));
-                tb_off += cfg.traceback_bytes();
-            }
-        }
-        q_off += tiles_per_read * tile;
-    }
-    b.finish()
+    stream_gact_trace(workload, cfg, reads, read_len, scale_divisor, seed).collect_trace()
 }
 
 #[cfg(test)]

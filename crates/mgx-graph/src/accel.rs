@@ -9,7 +9,9 @@
 //! ([`mgx_trace::DataClass::Adjacency`] → `MacGranularity::PerRequest`).
 
 use crate::csr::Csr;
-use mgx_trace::{DataClass, MemRequest, Trace, TraceBuilder};
+use mgx_trace::{
+    DataClass, LazyPhases, MemRequest, Phase, PhaseSink, RegionId, RegionMap, Trace, TraceSource,
+};
 
 /// Graph accelerator parameters (§VI-A: 800 MHz, bandwidth-matched).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,93 +96,168 @@ fn tile_histogram(g: &Csr, cfg: &GraphAccelConfig) -> (usize, usize, Vec<u64>) {
     (dst_blocks, src_tiles, nnz)
 }
 
-/// Builds the memory trace of `sweeps(workload)` SpMV iterations over `g`
-/// following Fig 10's schedule.
-pub fn build_graph_trace(g: &Csr, workload: GraphWorkload, cfg: &GraphAccelConfig) -> Trace {
+/// Everything one tile phase needs, precomputed so the schedule can stream
+/// without holding the graph.
+struct TileSchedule {
+    workload: GraphWorkload,
+    cfg: GraphAccelConfig,
+    n: usize,
+    dst_blocks: usize,
+    src_tiles: usize,
+    tile_nnz: Vec<u64>,
+    adj: RegionId,
+    rank: [RegionId; 2],
+    /// `(adjacency, rank0, rank1)` base addresses.
+    bases: (u64, u64, u64),
+}
+
+impl TileSchedule {
+    /// Emits the phase of tile `(sweep, db, st)`. `adj_off` is the running
+    /// offset into the pre-tiled adjacency stream, advanced per tile.
+    fn emit_tile(
+        &self,
+        sink: &mut impl PhaseSink,
+        sweep: usize,
+        db: usize,
+        st: usize,
+        adj_off: &mut u64,
+    ) {
+        let cfg = &self.cfg;
+        let (read_base, write_base) = if sweep.is_multiple_of(2) {
+            (self.bases.1, self.bases.2)
+        } else {
+            (self.bases.2, self.bases.1)
+        };
+        let (read_region, write_region) = if sweep.is_multiple_of(2) {
+            (self.rank[0], self.rank[1])
+        } else {
+            (self.rank[1], self.rank[0])
+        };
+        let db_lo = db * cfg.dst_block;
+        let db_hi = ((db + 1) * cfg.dst_block).min(self.n);
+        let nnz = self.tile_nnz[db * self.src_tiles + st];
+        let st_lo = st * cfg.src_tile;
+        let st_hi = ((st + 1) * cfg.src_tile).min(self.n);
+        sink.begin_phase(
+            format!("{}[{sweep}] d{db} s{st}", self.workload.label()),
+            nnz.div_ceil(cfg.lanes),
+        );
+        if let GraphWorkload::Sssp { frontier_per_mille, .. } = self.workload {
+            // SpMSpV: a fraction of the tile's edges are active; the
+            // adjacency slice still streams (it is pre-tiled), but
+            // source attributes are gathered randomly in 64 B units.
+            let active = nnz * frontier_per_mille as u64 / 1000;
+            if nnz > 0 {
+                sink.push(MemRequest::read(
+                    self.adj,
+                    self.bases.0 + *adj_off,
+                    nnz * cfg.entry_bytes,
+                ));
+                *adj_off += nnz * cfg.entry_bytes;
+            }
+            let seg_bytes = ((st_hi - st_lo) as u64) * cfg.entry_bytes;
+            let gathers = (active * cfg.entry_bytes).div_ceil(64).min(seg_bytes / 64 + 1);
+            let mut h = (db as u64) << 32 | st as u64 | (sweep as u64) << 48;
+            for _ in 0..gathers {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let off = (h % seg_bytes.max(64)) & !63;
+                sink.push(MemRequest::read(
+                    read_region,
+                    read_base
+                        + (st_lo as u64) * cfg.entry_bytes
+                        + off.min(seg_bytes.saturating_sub(64)),
+                    64,
+                ));
+            }
+        } else {
+            if nnz > 0 {
+                sink.push(MemRequest::read(
+                    self.adj,
+                    self.bases.0 + *adj_off,
+                    nnz * cfg.entry_bytes,
+                ));
+                *adj_off += nnz * cfg.entry_bytes;
+            }
+            // Source-attribute segment for this tile.
+            sink.push(MemRequest::read(
+                read_region,
+                read_base + (st_lo as u64) * cfg.entry_bytes,
+                ((st_hi - st_lo) as u64) * cfg.entry_bytes,
+            ));
+        }
+        if st == self.src_tiles - 1 {
+            // Result block written once, after its last tile.
+            sink.push(MemRequest::write(
+                write_region,
+                write_base + (db_lo as u64) * cfg.entry_bytes,
+                ((db_hi - db_lo) as u64) * cfg.entry_bytes,
+            ));
+        }
+    }
+}
+
+/// Streams the memory trace of `sweeps(workload)` SpMV iterations over `g`
+/// following Fig 10's schedule: one tile phase is resident at a time, so
+/// arbitrarily large graphs and iteration counts cost constant memory
+/// beyond the O(tiles) nonzero histogram.
+pub fn stream_graph_trace(
+    g: &Csr,
+    workload: GraphWorkload,
+    cfg: &GraphAccelConfig,
+) -> impl TraceSource<Phases = impl Iterator<Item = Phase>> {
     let (dst_blocks, src_tiles, tile_nnz) = tile_histogram(g, cfg);
-    let mut b = TraceBuilder::new();
+    let mut regions = RegionMap::new();
     let adj_bytes = (g.nnz() as u64 * cfg.entry_bytes).max(64);
     let vec_bytes = (g.n as u64 * cfg.entry_bytes).max(64);
-    let adj = b.regions_mut().alloc("adjacency", adj_bytes, DataClass::Adjacency);
+    let adj = regions.alloc("adjacency", adj_bytes, DataClass::Adjacency);
     // Ping-pong attribute buffers: read one, write the other, swap. Under
     // SpMSpV the *read* side is gathered randomly, which demands
     // fine-grained MACs (§V-B) — the Embedding class carries that policy.
     let sparse_reads = matches!(workload, GraphWorkload::Sssp { .. });
     let attr_class = if sparse_reads { DataClass::Embedding } else { DataClass::VertexAttr };
     let rank = [
-        b.regions_mut().alloc("rank0", vec_bytes, attr_class),
-        b.regions_mut().alloc("rank1", vec_bytes, attr_class),
+        regions.alloc("rank0", vec_bytes, attr_class),
+        regions.alloc("rank1", vec_bytes, attr_class),
     ];
-    let bases = {
-        let r = b.regions();
-        (r.get(adj).base, r.get(rank[0]).base, r.get(rank[1]).base)
+    let bases = (regions.get(adj).base, regions.get(rank[0]).base, regions.get(rank[1]).base);
+    let schedule = TileSchedule {
+        workload,
+        cfg: *cfg,
+        n: g.n,
+        dst_blocks,
+        src_tiles,
+        tile_nnz,
+        adj,
+        rank,
+        bases,
     };
 
-    for sweep in 0..workload.sweeps() {
-        let (read_base, write_base) =
-            if sweep % 2 == 0 { (bases.1, bases.2) } else { (bases.2, bases.1) };
-        let (read_region, write_region) =
-            if sweep % 2 == 0 { (rank[0], rank[1]) } else { (rank[1], rank[0]) };
-        // Tiles are stored contiguously in schedule order.
-        let mut adj_off = 0u64;
-        for db in 0..dst_blocks {
-            let db_lo = db * cfg.dst_block;
-            let db_hi = ((db + 1) * cfg.dst_block).min(g.n);
-            for st in 0..src_tiles {
-                let nnz = tile_nnz[db * src_tiles + st];
-                let st_lo = st * cfg.src_tile;
-                let st_hi = ((st + 1) * cfg.src_tile).min(g.n);
-                b.begin_phase(
-                    format!("{}[{sweep}] d{db} s{st}", workload.label()),
-                    nnz.div_ceil(cfg.lanes),
-                );
-                if let GraphWorkload::Sssp { frontier_per_mille, .. } = workload {
-                    // SpMSpV: a fraction of the tile's edges are active; the
-                    // adjacency slice still streams (it is pre-tiled), but
-                    // source attributes are gathered randomly in 64 B units.
-                    let active = nnz * frontier_per_mille as u64 / 1000;
-                    if nnz > 0 {
-                        b.push(MemRequest::read(adj, bases.0 + adj_off, nnz * cfg.entry_bytes));
-                        adj_off += nnz * cfg.entry_bytes;
-                    }
-                    let seg_bytes = ((st_hi - st_lo) as u64) * cfg.entry_bytes;
-                    let gathers = (active * cfg.entry_bytes).div_ceil(64).min(seg_bytes / 64 + 1);
-                    let mut h = (db as u64) << 32 | st as u64 | (sweep as u64) << 48;
-                    for _ in 0..gathers {
-                        h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                        let off = (h % seg_bytes.max(64)) & !63;
-                        b.push(MemRequest::read(
-                            read_region,
-                            read_base
-                                + (st_lo as u64) * cfg.entry_bytes
-                                + off.min(seg_bytes.saturating_sub(64)),
-                            64,
-                        ));
-                    }
-                } else {
-                    if nnz > 0 {
-                        b.push(MemRequest::read(adj, bases.0 + adj_off, nnz * cfg.entry_bytes));
-                        adj_off += nnz * cfg.entry_bytes;
-                    }
-                    // Source-attribute segment for this tile.
-                    b.push(MemRequest::read(
-                        read_region,
-                        read_base + (st_lo as u64) * cfg.entry_bytes,
-                        ((st_hi - st_lo) as u64) * cfg.entry_bytes,
-                    ));
-                }
-                if st == src_tiles - 1 {
-                    // Result block written once, after its last tile.
-                    b.push(MemRequest::write(
-                        write_region,
-                        write_base + (db_lo as u64) * cfg.entry_bytes,
-                        ((db_hi - db_lo) as u64) * cfg.entry_bytes,
-                    ));
-                }
-            }
+    // Tile schedule order: (sweep, db, st), adjacency streamed in order
+    // within each sweep.
+    let total = workload.sweeps() * dst_blocks * src_tiles;
+    let mut tile = 0usize;
+    let mut adj_off = 0u64;
+    let phases = LazyPhases::new(move |buf| {
+        if tile >= total {
+            return false;
         }
-    }
-    b.finish()
+        let per_sweep = schedule.dst_blocks * schedule.src_tiles;
+        let (sweep, rest) = (tile / per_sweep, tile % per_sweep);
+        let (db, st) = (rest / schedule.src_tiles, rest % schedule.src_tiles);
+        if rest == 0 {
+            adj_off = 0; // each sweep restarts the adjacency stream
+        }
+        schedule.emit_tile(buf, sweep, db, st, &mut adj_off);
+        tile += 1;
+        tile < total
+    });
+    (regions, phases)
+}
+
+/// Builds the memory trace of `sweeps(workload)` SpMV iterations over `g`
+/// (the collected form of [`stream_graph_trace`]).
+pub fn build_graph_trace(g: &Csr, workload: GraphWorkload, cfg: &GraphAccelConfig) -> Trace {
+    stream_graph_trace(g, workload, cfg).collect_trace()
 }
 
 #[cfg(test)]

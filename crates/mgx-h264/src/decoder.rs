@@ -16,7 +16,9 @@ use crate::vn::VideoVnState;
 use mgx_core::secure::MgxSecureMemory;
 use mgx_core::vn::UniquenessAuditor;
 use mgx_crypto::TagMismatch;
-use mgx_trace::{DataClass, MemRequest, RegionId, Trace, TraceBuilder};
+use mgx_trace::{
+    DataClass, LazyPhases, MemRequest, Phase, PhaseSink, RegionId, RegionMap, Trace, TraceSource,
+};
 
 /// Decoder geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,33 +162,54 @@ impl SecureDecoder {
     }
 }
 
-/// Emits the decoder's DRAM trace for one GOP: bitstream reads, reference
-/// (inter-prediction) reads, and the single write per frame.
-pub fn build_decode_trace(gop: &GopStructure, cfg: &DecoderConfig) -> Trace {
-    let plan = plan_buffers(gop, cfg.buffers);
-    let mut b = TraceBuilder::new();
+/// Streams the decoder's DRAM trace for one GOP — bitstream reads,
+/// reference (inter-prediction) reads, and the single write per frame —
+/// one decoded frame at a time, so arbitrarily long streams cost constant
+/// memory.
+pub fn stream_decode_trace(
+    gop: &GopStructure,
+    cfg: &DecoderConfig,
+) -> impl TraceSource<Phases = impl Iterator<Item = Phase>> {
+    let gop = gop.clone();
+    let cfg = *cfg;
+    let plan = plan_buffers(&gop, cfg.buffers);
+    let mut regions = RegionMap::new();
     let stream_bytes = (gop.len() as u64 * cfg.frame_bytes / cfg.compression).max(64);
-    let bitstream = b.regions_mut().alloc("bitstream", stream_bytes, DataClass::Bitstream);
+    let bitstream = regions.alloc("bitstream", stream_bytes, DataClass::Bitstream);
     let frames: Vec<RegionId> = (0..cfg.buffers)
-        .map(|i| b.regions_mut().alloc(format!("framebuf{i}"), cfg.frame_bytes, DataClass::Frame))
+        .map(|i| regions.alloc(format!("framebuf{i}"), cfg.frame_bytes, DataClass::Frame))
         .collect();
-    let base_of: Vec<u64> = frames.iter().map(|&r| b.regions().get(r).base).collect();
-    let bs_base = b.regions().get(bitstream).base;
+    let base_of: Vec<u64> = frames.iter().map(|&r| regions.get(r).base).collect();
+    let bs_base = regions.get(bitstream).base;
 
-    // Decode throughput ~1 px/cycle-ish: frame_bytes cycles per frame.
-    for (step, &display) in gop.decode_order().iter().enumerate() {
-        b.begin_phase(format!("frame{display}"), cfg.frame_bytes);
+    let decode_order = gop.decode_order();
+    let mut step = 0usize;
+    let phases = LazyPhases::new(move |buf| {
+        if step >= decode_order.len() {
+            return false;
+        }
+        let display = decode_order[step];
+        // Decode throughput ~1 px/cycle-ish: frame_bytes cycles per frame.
+        buf.begin_phase(format!("frame{display}"), cfg.frame_bytes);
         let chunk = cfg.frame_bytes / cfg.compression;
-        b.push(MemRequest::read(bitstream, bs_base + step as u64 * chunk, chunk.max(64)));
+        buf.push(MemRequest::read(bitstream, bs_base + step as u64 * chunk, chunk.max(64)));
         for r in gop.references(display) {
             let rb = plan.assignment[r];
             // Motion compensation reads the reference once on average.
-            b.push(MemRequest::read(frames[rb], base_of[rb], cfg.frame_bytes));
+            buf.push(MemRequest::read(frames[rb], base_of[rb], cfg.frame_bytes));
         }
         let wb = plan.assignment[display];
-        b.push(MemRequest::write(frames[wb], base_of[wb], cfg.frame_bytes));
-    }
-    b.finish()
+        buf.push(MemRequest::write(frames[wb], base_of[wb], cfg.frame_bytes));
+        step += 1;
+        step < decode_order.len()
+    });
+    (regions, phases)
+}
+
+/// Emits the decoder's DRAM trace for one GOP (the collected form of
+/// [`stream_decode_trace`]).
+pub fn build_decode_trace(gop: &GopStructure, cfg: &DecoderConfig) -> Trace {
+    stream_decode_trace(gop, cfg).collect_trace()
 }
 
 #[cfg(test)]

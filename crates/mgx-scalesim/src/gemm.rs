@@ -2,7 +2,7 @@
 //! and trace emission.
 
 use crate::{ArrayConfig, Dataflow};
-use mgx_trace::{MemRequest, RegionId, TraceBuilder};
+use mgx_trace::{DataClass, LazyPhases, MemRequest, PhaseSink, RegionId, RegionMap, TraceSource};
 
 /// A dense matrix multiplication `C[m×n] = A[m×k] × B[k×n]`.
 ///
@@ -152,14 +152,110 @@ fn chunk(bytes: u64, parts: u64, i: u64) -> (u64, u64) {
     (off, len)
 }
 
-/// Emits the fold-by-fold phases of one GEMM into a trace.
+/// The precomputed per-fold emission state of one GEMM: everything needed
+/// to emit any `(row_fold, col_fold)` phase independently, so collected
+/// ([`emit_gemm`]) and streamed ([`stream_gemm_trace`]) generation share
+/// one code path.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldEmitter {
+    g: Gemm,
+    cfg: ArrayConfig,
+    regions: GemmRegions,
+    cost: GemmCost,
+    cycles_per_fold: u64,
+    ifmap_total: u64,
+    ifmap_cached: bool,
+    ifmap_wrap: u64,
+    spilling: bool,
+}
+
+impl FoldEmitter {
+    /// Computes the fold structure for one GEMM (see [`gemm_cost`] for the
+    /// `ifmap_unique_bytes` override).
+    pub fn new(
+        g: &Gemm,
+        cfg: &ArrayConfig,
+        dataflow: Dataflow,
+        regions: &GemmRegions,
+        ifmap_unique_bytes: Option<u64>,
+    ) -> Self {
+        let cost = gemm_cost(g, cfg, dataflow, ifmap_unique_bytes);
+        let folds = cost.row_folds * cost.col_folds;
+        let ifmap_total = ifmap_unique_bytes.unwrap_or(g.m * g.k * cfg.dtype_bytes);
+        Self {
+            g: *g,
+            cfg: *cfg,
+            regions: *regions,
+            cost,
+            cycles_per_fold: cost.compute_cycles / folds,
+            ifmap_total,
+            ifmap_cached: cost.ifmap_read_bytes <= ifmap_total,
+            // The streamed volume may exceed the tensor itself (im2col
+            // re-reads); addresses wrap inside the tensor so re-reads
+            // revisit the same lines.
+            ifmap_wrap: regions.ifmap_payload.max(1),
+            spilling: cost.writes_per_output > 1,
+        }
+    }
+
+    /// The cost model's verdict for this GEMM.
+    pub fn cost(&self) -> GemmCost {
+        self.cost
+    }
+
+    /// Emits the phase of fold `(r, c)`.
+    pub fn emit_fold(&self, sink: &mut impl PhaseSink, label: &str, r: u64, c: u64) {
+        let (rf, cf) = (self.cost.row_folds, self.cost.col_folds);
+        let folds = rf * cf;
+        let (ifr, ifb) = (self.regions.ifmap.0, self.regions.ifmap.1);
+        let (flr, flb) = (self.regions.filter.0, self.regions.filter.1);
+        let (ofr, ofb) = (self.regions.ofmap.0, self.regions.ofmap.1);
+        sink.begin_phase(format!("{label}[{r},{c}]"), self.cycles_per_fold);
+        // Weights: each fold loads its own slab exactly once.
+        let (w_off, w_len) = chunk(self.cost.filter_read_bytes, folds, c * rf + r);
+        if w_len > 0 {
+            sink.push(MemRequest::read(flr, flb + w_off, w_len));
+        }
+        // Inputs: the row-fold slice of A streams in; re-read per
+        // column fold only if A does not fit on-chip.
+        if c == 0 || !self.ifmap_cached {
+            let (i_off, mut i_len) = chunk(self.ifmap_total, rf, r);
+            let mut off = i_off % self.ifmap_wrap;
+            while i_len > 0 {
+                let take = i_len.min(self.ifmap_wrap - off);
+                sink.push(MemRequest::read(ifr, ifb + off, take));
+                i_len -= take;
+                off = 0;
+            }
+        }
+        // Outputs / partial sums for this column stripe.
+        let (o_off, o_len) = chunk(self.cost.ofmap_write_bytes, cf, c);
+        if self.spilling {
+            let (p_off, p_len) = chunk(self.g.m * self.g.n * self.cfg.acc_bytes, cf, c);
+            if r > 0 && p_len > 0 {
+                sink.push(MemRequest::read(ofr, ofb + p_off, p_len));
+            }
+            if r < rf - 1 {
+                if p_len > 0 {
+                    sink.push(MemRequest::write(ofr, ofb + p_off, p_len));
+                }
+            } else if o_len > 0 {
+                sink.push(MemRequest::write(ofr, ofb + o_off, o_len));
+            }
+        } else if r == rf - 1 && o_len > 0 {
+            sink.push(MemRequest::write(ofr, ofb + o_off, o_len));
+        }
+    }
+}
+
+/// Emits the fold-by-fold phases of one GEMM into a sink.
 ///
 /// Each `(row_fold, col_fold)` pair becomes one double-buffered phase whose
 /// requests walk the operand regions exactly as the cost model accounts
 /// them. Returns the cost for the caller's bookkeeping (e.g. VN audit of
 /// `writes_per_output`).
 pub fn emit_gemm(
-    builder: &mut TraceBuilder,
+    sink: &mut impl PhaseSink,
     label: &str,
     g: &Gemm,
     cfg: &ArrayConfig,
@@ -167,82 +263,72 @@ pub fn emit_gemm(
     regions: &GemmRegions,
     ifmap_unique_bytes: Option<u64>,
 ) -> GemmCost {
-    let cost = gemm_cost(g, cfg, dataflow, ifmap_unique_bytes);
-    let (rf, cf) = (cost.row_folds, cost.col_folds);
-    let folds = rf * cf;
-    let cycles_per_fold = cost.compute_cycles / folds;
-    let ifmap_total = ifmap_unique_bytes.unwrap_or(g.m * g.k * cfg.dtype_bytes);
-    let ifmap_cached = cost.ifmap_read_bytes <= ifmap_total;
-    let (ifr, ifb) = (regions.ifmap.0, regions.ifmap.1);
-    let (flr, flb) = (regions.filter.0, regions.filter.1);
-    let (ofr, ofb) = (regions.ofmap.0, regions.ofmap.1);
-    // The streamed volume may exceed the tensor itself (im2col re-reads);
-    // addresses wrap inside the tensor so re-reads revisit the same lines.
-    let ifmap_wrap = regions.ifmap_payload.max(1);
-    let spilling = cost.writes_per_output > 1;
-
+    let emitter = FoldEmitter::new(g, cfg, dataflow, regions, ifmap_unique_bytes);
+    let (rf, cf) = (emitter.cost.row_folds, emitter.cost.col_folds);
     for c in 0..cf {
         for r in 0..rf {
-            builder.begin_phase(format!("{label}[{r},{c}]"), cycles_per_fold);
-            // Weights: each fold loads its own slab exactly once.
-            let (w_off, w_len) = chunk(cost.filter_read_bytes, folds, c * rf + r);
-            if w_len > 0 {
-                builder.push(MemRequest::read(flr, flb + w_off, w_len));
-            }
-            // Inputs: the row-fold slice of A streams in; re-read per
-            // column fold only if A does not fit on-chip.
-            if c == 0 || !ifmap_cached {
-                let (i_off, mut i_len) = chunk(ifmap_total, rf, r);
-                let mut off = i_off % ifmap_wrap;
-                while i_len > 0 {
-                    let take = i_len.min(ifmap_wrap - off);
-                    builder.push(MemRequest::read(ifr, ifb + off, take));
-                    i_len -= take;
-                    off = 0;
-                }
-            }
-            // Outputs / partial sums for this column stripe.
-            let (o_off, o_len) = chunk(cost.ofmap_write_bytes, cf, c);
-            if spilling {
-                let (p_off, p_len) = chunk(g.m * g.n * cfg.acc_bytes, cf, c);
-                if r > 0 && p_len > 0 {
-                    builder.push(MemRequest::read(ofr, ofb + p_off, p_len));
-                }
-                if r < rf - 1 {
-                    if p_len > 0 {
-                        builder.push(MemRequest::write(ofr, ofb + p_off, p_len));
-                    }
-                } else if o_len > 0 {
-                    builder.push(MemRequest::write(ofr, ofb + o_off, o_len));
-                }
-            } else if r == rf - 1 && o_len > 0 {
-                builder.push(MemRequest::write(ofr, ofb + o_off, o_len));
-            }
+            emitter.emit_fold(sink, label, r, c);
         }
     }
-    cost
+    emitter.cost
+}
+
+/// A standalone streaming GEMM workload: allocates its own operand regions
+/// and yields one phase per fold, lazily.
+///
+/// This is the smallest end-to-end [`TraceSource`]: a single layer's worth
+/// of region setup and an iterator the simulator can drain in O(one phase)
+/// memory however many folds the tiling produces.
+pub fn stream_gemm_trace(
+    g: &Gemm,
+    cfg: &ArrayConfig,
+    dataflow: Dataflow,
+) -> impl TraceSource<Phases = impl Iterator<Item = mgx_trace::Phase>> {
+    let mut regions = RegionMap::new();
+    let i = regions.alloc("ifmap", (g.m * g.k * cfg.dtype_bytes).max(64), DataClass::Feature);
+    let f = regions.alloc("filter", (g.k * g.n * cfg.dtype_bytes).max(64), DataClass::Weight);
+    let o = regions.alloc("ofmap", (g.m * g.n * cfg.acc_bytes).max(64), DataClass::Feature);
+    let gr = GemmRegions {
+        ifmap: (i, regions.get(i).base),
+        ifmap_payload: g.m * g.k * cfg.dtype_bytes,
+        filter: (f, regions.get(f).base),
+        ofmap: (o, regions.get(o).base),
+    };
+    let emitter = FoldEmitter::new(g, cfg, dataflow, &gr, None);
+    let (rf, cf) = (emitter.cost.row_folds, emitter.cost.col_folds);
+    let mut fold = 0u64;
+    let phases = LazyPhases::new(move |buf| {
+        if fold >= rf * cf {
+            return false;
+        }
+        // Same order as `emit_gemm`: column-major over (r, c).
+        emitter.emit_fold(buf, "gemm", fold % rf, fold / rf);
+        fold += 1;
+        fold < rf * cf
+    });
+    (regions, phases)
 }
 
 /// Emits a single streaming phase (pooling, normalization, element-wise
 /// ops): reads, writes, and a compute estimate of one element per lane per
 /// cycle with `lanes` = array rows.
 pub fn emit_stream_phase(
-    builder: &mut TraceBuilder,
+    sink: &mut impl PhaseSink,
     label: &str,
     cfg: &ArrayConfig,
     reads: &[(RegionId, u64, u64)],
     writes: &[(RegionId, u64, u64)],
 ) {
     let elems: u64 = reads.iter().map(|r| r.2).sum::<u64>() / cfg.dtype_bytes.max(1);
-    builder.begin_phase(label, elems.div_ceil(cfg.rows));
+    sink.begin_phase(label, elems.div_ceil(cfg.rows));
     for &(region, addr, bytes) in reads {
         if bytes > 0 {
-            builder.push(MemRequest::read(region, addr, bytes));
+            sink.push(MemRequest::read(region, addr, bytes));
         }
     }
     for &(region, addr, bytes) in writes {
         if bytes > 0 {
-            builder.push(MemRequest::write(region, addr, bytes));
+            sink.push(MemRequest::write(region, addr, bytes));
         }
     }
 }
@@ -250,7 +336,7 @@ pub fn emit_stream_phase(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgx_trace::{DataClass, Dir};
+    use mgx_trace::{Dir, TraceBuilder};
 
     fn small_cfg() -> ArrayConfig {
         ArrayConfig {
@@ -393,6 +479,24 @@ mod tests {
                     "request {req:?} outside region {}",
                     region.name
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_gemm_matches_emitted_gemm() {
+        let cfg = small_cfg();
+        for g in [Gemm { m: 4096, k: 64, n: 16 }, Gemm { m: 1024, k: 64, n: 64 }] {
+            let streamed = stream_gemm_trace(&g, &cfg, Dataflow::WeightStationary).collect_trace();
+            let mut b = TraceBuilder::new();
+            let regions = build_regions(&mut b, &g, &cfg);
+            emit_gemm(&mut b, "gemm", &g, &cfg, Dataflow::WeightStationary, &regions, None);
+            let emitted = b.finish();
+            assert_eq!(streamed.phases.len(), emitted.phases.len());
+            for (s, e) in streamed.phases.iter().zip(&emitted.phases) {
+                assert_eq!(s.label, e.label);
+                assert_eq!(s.compute_cycles, e.compute_cycles);
+                assert_eq!(s.requests, e.requests, "fold {} diverged", s.label);
             }
         }
     }

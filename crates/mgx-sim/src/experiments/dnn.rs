@@ -1,11 +1,11 @@
 //! DNN experiments: Figs 3, 12, 13.
 
 use super::Evaluated;
-use crate::pipeline::{simulate, SimConfig};
+use crate::pipeline::{SimConfig, Simulation};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
-use mgx_dnn::trace::{build_inference_trace, build_training_trace};
+use mgx_dnn::trace::{stream_inference_trace, stream_training_trace};
 use mgx_dnn::Model;
 use mgx_scalesim::{ArrayConfig, Dataflow};
 
@@ -21,12 +21,17 @@ fn evaluate(models: Vec<Model>, scale: &Scale, training: bool) -> Vec<Evaluated>
     let mut out = Vec::new();
     for model in &models {
         for (name, acfg, scfg) in setups() {
-            let trace = if training {
-                build_training_trace(model, &acfg, Dataflow::WeightStationary)
+            // Phases stream straight from the lowering into the five
+            // engines — the trace is never materialized.
+            let results = if training {
+                Simulation::over(stream_training_trace(model, &acfg, Dataflow::WeightStationary))
+                    .config(scfg)
+                    .run_all()
             } else {
-                build_inference_trace(model, &acfg, Dataflow::WeightStationary)
+                Simulation::over(stream_inference_trace(model, &acfg, Dataflow::WeightStationary))
+                    .config(scfg)
+                    .run_all()
             };
-            let results = Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
             out.push(Evaluated {
                 workload: model.name.to_string(),
                 config: name.to_string(),
@@ -103,10 +108,10 @@ mod tests {
     fn alexnet_cloud_shapes_hold() {
         let model = Model::alexnet(1);
         let (_, acfg, scfg) = setups().remove(0);
-        let trace = build_inference_trace(&model, &acfg, Dataflow::WeightStationary);
-        let np = simulate(&trace, Scheme::NoProtection, &scfg);
-        let bp = simulate(&trace, Scheme::Baseline, &scfg);
-        let mgx = simulate(&trace, Scheme::Mgx, &scfg);
+        let stream = || stream_inference_trace(&model, &acfg, Dataflow::WeightStationary);
+        let np = Simulation::over(stream()).config(scfg.clone()).run();
+        let bp = Simulation::over(stream()).config(scfg.clone()).scheme(Scheme::Baseline).run();
+        let mgx = Simulation::over(stream()).config(scfg).scheme(Scheme::Mgx).run();
         let bp_traffic = bp.total_bytes() as f64 / np.total_bytes() as f64;
         let mgx_traffic = mgx.total_bytes() as f64 / np.total_bytes() as f64;
         assert!(
@@ -128,8 +133,10 @@ mod tests {
     fn fig_builders_slice_schemes() {
         let model = Model::alexnet(1);
         let (_, acfg, scfg) = setups().remove(1);
-        let trace = build_inference_trace(&model, &acfg, Dataflow::WeightStationary);
-        let results = Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
+        let results =
+            Simulation::over(stream_inference_trace(&model, &acfg, Dataflow::WeightStationary))
+                .config(scfg)
+                .run_all();
         let evals = vec![Evaluated { workload: "AlexNet".into(), config: "Edge".into(), results }];
         let f12 = fig12(&evals, false);
         assert_eq!(f12.rows.len(), 2);

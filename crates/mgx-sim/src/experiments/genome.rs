@@ -1,11 +1,11 @@
 //! Genome-alignment experiments: Fig 16.
 
 use super::Evaluated;
-use crate::pipeline::{simulate, PhaseMode, SimConfig};
+use crate::pipeline::{PhaseMode, SimConfig, Simulation};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
-use mgx_genome::accel::{build_gact_trace, GactAccelConfig, GenomeWorkload};
+use mgx_genome::accel::{stream_gact_trace, GactAccelConfig, GenomeWorkload};
 
 /// Simulation setup for Darwin/GACT (§VII-A): four DDR4-2400 channels,
 /// 800 MHz, 64 arrays that fetch-then-compute (no double buffering).
@@ -23,7 +23,7 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
     GenomeWorkload::suite()
         .iter()
         .map(|w| {
-            let trace = build_gact_trace(
+            let src = stream_gact_trace(
                 w,
                 &accel,
                 scale.genome_reads,
@@ -31,7 +31,7 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
                 scale.genome_divisor,
                 0xD4A,
             );
-            let results = Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
+            let results = Simulation::over(src).config(scfg.clone()).run_all();
             Evaluated { workload: w.label(), config: String::new(), results }
         })
         .collect()
@@ -65,11 +65,11 @@ mod tests {
             profile: ErrorProfile::pacbio(),
         };
         let accel = GactAccelConfig::default();
-        let trace = build_gact_trace(&w, &accel, 10, 1280, 2000, 3);
+        let stream = || stream_gact_trace(&w, &accel, 10, 1280, 2000, 3);
         let scfg = setup(&accel);
-        let np = simulate(&trace, Scheme::NoProtection, &scfg);
-        let bp = simulate(&trace, Scheme::Baseline, &scfg);
-        let vn = simulate(&trace, Scheme::MgxVn, &scfg);
+        let np = Simulation::over(stream()).config(scfg.clone()).run();
+        let bp = Simulation::over(stream()).config(scfg.clone()).scheme(Scheme::Baseline).run();
+        let vn = Simulation::over(stream()).config(scfg).scheme(Scheme::MgxVn).run();
         let bp_traffic = bp.total_bytes() as f64 / np.total_bytes() as f64;
         let vn_traffic = vn.total_bytes() as f64 / np.total_bytes() as f64;
         assert!(bp_traffic > 1.2, "BP traffic {bp_traffic:.3} must be heavy (random refs)");

@@ -1,11 +1,11 @@
 //! Graph experiments: Fig 14 (and the graph half of Fig 3).
 
 use super::Evaluated;
-use crate::pipeline::{simulate, SimConfig};
+use crate::pipeline::{SimConfig, Simulation};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
-use mgx_graph::accel::{build_graph_trace, GraphAccelConfig, GraphWorkload};
+use mgx_graph::accel::{stream_graph_trace, GraphAccelConfig, GraphWorkload};
 use mgx_graph::algorithms;
 use mgx_graph::Dataset;
 
@@ -31,8 +31,8 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
             GraphWorkload::Bfs { levels: sweeps.clamp(2, 10) },
         ];
         for w in workloads {
-            let trace = build_graph_trace(&g, w, &accel);
-            let results = Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
+            let results =
+                Simulation::over(stream_graph_trace(&g, w, &accel)).config(scfg.clone()).run_all();
             out.push(Evaluated {
                 workload: format!("{}-{}", w.label(), ds.name),
                 config: String::new(),
@@ -72,15 +72,17 @@ mod tests {
     #[test]
     fn pagerank_shapes_hold_on_a_small_graph() {
         let g = RmatGenerator::social(14, 3).generate(250_000);
-        let trace = build_graph_trace(
-            &g,
-            GraphWorkload::PageRank { iters: 2 },
-            &GraphAccelConfig::default(),
-        );
+        let stream = || {
+            stream_graph_trace(
+                &g,
+                GraphWorkload::PageRank { iters: 2 },
+                &GraphAccelConfig::default(),
+            )
+        };
         let scfg = setup();
-        let np = simulate(&trace, Scheme::NoProtection, &scfg);
-        let bp = simulate(&trace, Scheme::Baseline, &scfg);
-        let mgx = simulate(&trace, Scheme::Mgx, &scfg);
+        let np = Simulation::over(stream()).config(scfg.clone()).run();
+        let bp = Simulation::over(stream()).config(scfg.clone()).scheme(Scheme::Baseline).run();
+        let mgx = Simulation::over(stream()).config(scfg).scheme(Scheme::Mgx).run();
         let bp_traffic = bp.total_bytes() as f64 / np.total_bytes() as f64;
         let mgx_traffic = mgx.total_bytes() as f64 / np.total_bytes() as f64;
         assert!((1.10..1.45).contains(&bp_traffic), "BP graph traffic {bp_traffic:.3} out of band");
@@ -94,13 +96,15 @@ mod tests {
     #[test]
     fn ablations_sit_between_mgx_and_bp() {
         let g = RmatGenerator::social(13, 9).generate(120_000);
-        let trace = build_graph_trace(
-            &g,
-            GraphWorkload::PageRank { iters: 2 },
-            &GraphAccelConfig::default(),
-        );
         let scfg = setup();
-        let t = |s: Scheme| simulate(&trace, s, &scfg).dram_cycles as f64;
+        let t = |s: Scheme| {
+            let src = stream_graph_trace(
+                &g,
+                GraphWorkload::PageRank { iters: 2 },
+                &GraphAccelConfig::default(),
+            );
+            Simulation::over(src).config(scfg.clone()).scheme(s).run().dram_cycles as f64
+        };
         let np = t(Scheme::NoProtection);
         let mgx = t(Scheme::Mgx) / np;
         let vn = t(Scheme::MgxVn) / np;

@@ -12,7 +12,7 @@ pub mod video;
 
 use crate::pipeline::RunResult;
 use crate::report::{Figure, Row};
-use mgx_core::Scheme;
+use mgx_core::{MetaTraffic, Scheme};
 
 /// One workload simulated under every scheme (in [`Scheme::ALL`] order).
 #[derive(Debug, Clone)]
@@ -38,6 +38,12 @@ impl Evaluated {
     /// Panics if the scheme was not simulated.
     pub fn of(&self, scheme: Scheme) -> &RunResult {
         self.results.iter().find(|r| r.scheme == scheme).expect("scheme missing from evaluation")
+    }
+
+    /// Aggregate traffic across every simulated scheme (all data + metadata
+    /// this workload moved during the sweep).
+    pub fn total_traffic(&self) -> MetaTraffic {
+        self.results.iter().map(|r| r.traffic).sum()
     }
 
     /// Builds figure rows for the given schemes.
@@ -186,6 +192,26 @@ pub fn summary_claims(
     ]
 }
 
+/// Renders the summary claims as a JSON object (machine-readable mirror of
+/// [`render_claims`], used by the `figures` binary's `--json` mode).
+pub fn render_claims_json(claims: &[Claim]) -> String {
+    let mut out = String::from("{\"id\":\"summary\",\"claims\":[");
+    for (i, c) in claims.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"metric\":\"{}\",\"paper\":{:.6},\"measured\":{:.6},\"rel_err\":{:.6}}}",
+            crate::report::esc(&c.metric),
+            c.paper,
+            c.measured,
+            c.rel_err()
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Renders the summary claims as a text table.
 pub fn render_claims(claims: &[Claim]) -> String {
     let mut out = String::from("## summary — paper vs measured\n");
@@ -200,4 +226,40 @@ pub fn render_claims(claims: &[Claim]) -> String {
         ));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_traffic_sums_across_schemes() {
+        let result = |scheme: Scheme, read_bytes: u64| RunResult {
+            scheme,
+            dram_cycles: 1,
+            exec_ns: 1.0,
+            traffic: MetaTraffic {
+                data: mgx_trace::Traffic { read_bytes, write_bytes: 0 },
+                ..MetaTraffic::default()
+            },
+            dram: Default::default(),
+        };
+        let e = Evaluated {
+            workload: "w".into(),
+            config: String::new(),
+            results: vec![result(Scheme::NoProtection, 100), result(Scheme::Mgx, 120)],
+        };
+        assert_eq!(e.total_traffic().total_bytes(), 220);
+    }
+
+    #[test]
+    fn claims_render_as_json_and_text() {
+        let claims =
+            vec![Claim { metric: "exec \"overhead\"".into(), paper: 1.05, measured: 1.07 }];
+        let j = render_claims_json(&claims);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\\\"overhead\\\""), "quotes must be escaped: {j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(render_claims(&claims).contains("paper"));
+    }
 }

@@ -12,7 +12,7 @@
 //! * Fig 7: tiling/dataflow determines `writes_per_output`, i.e. how many
 //!   VN increments a layer needs → [`dataflow_ablation`].
 
-use crate::pipeline::{simulate, SimConfig};
+use crate::pipeline::{SimConfig, Simulation};
 use crate::report::{Figure, Row};
 use crate::scale::Scale;
 use mgx_core::{MacGranularity, ProtectionConfig, Scheme};
@@ -48,7 +48,7 @@ pub fn cache_sweep(scale: &Scale) -> Figure {
     let trace = resnet_trace(scale, Dataflow::WeightStationary);
     let mut rows = Vec::new();
     let base_cfg = SimConfig::overlapped(4, 700);
-    let np = simulate(&trace, Scheme::NoProtection, &base_cfg);
+    let np = Simulation::over(&trace).config(base_cfg.clone()).run();
     for kb in [8u64, 16, 32, 64, 256, 1024] {
         let cfg = SimConfig {
             protection: ProtectionConfig {
@@ -57,7 +57,7 @@ pub fn cache_sweep(scale: &Scale) -> Figure {
             },
             ..base_cfg.clone()
         };
-        let bp = simulate(&trace, Scheme::Baseline, &cfg);
+        let bp = Simulation::over(&trace).config(cfg).scheme(Scheme::Baseline).run();
         rows.push(row(format!("ResNet cache={kb}KB"), "Cloud".into(), Scheme::Baseline, &np, &bp));
     }
     Figure {
@@ -72,7 +72,7 @@ pub fn granularity_sweep(scale: &Scale) -> Figure {
     let trace = resnet_trace(scale, Dataflow::WeightStationary);
     let mut rows = Vec::new();
     let base_cfg = SimConfig::overlapped(4, 700);
-    let np = simulate(&trace, Scheme::NoProtection, &base_cfg);
+    let np = Simulation::over(&trace).config(base_cfg.clone()).run();
     for g in [64u64, 128, 256, 512, 1024, 2048, 8192] {
         let cfg = SimConfig {
             protection: ProtectionConfig {
@@ -81,7 +81,7 @@ pub fn granularity_sweep(scale: &Scale) -> Figure {
             },
             ..base_cfg.clone()
         };
-        let mgx = simulate(&trace, Scheme::Mgx, &cfg);
+        let mgx = Simulation::over(&trace).config(cfg).scheme(Scheme::Mgx).run();
         rows.push(row(format!("ResNet mac={g}B"), "Cloud".into(), Scheme::Mgx, &np, &mgx));
     }
     Figure {
@@ -96,13 +96,13 @@ pub fn arity_sweep(scale: &Scale) -> Figure {
     let trace = resnet_trace(scale, Dataflow::WeightStationary);
     let mut rows = Vec::new();
     let base_cfg = SimConfig::overlapped(4, 700);
-    let np = simulate(&trace, Scheme::NoProtection, &base_cfg);
+    let np = Simulation::over(&trace).config(base_cfg.clone()).run();
     for arity in [2u64, 4, 8, 16] {
         let cfg = SimConfig {
             protection: ProtectionConfig { tree_arity: arity, ..ProtectionConfig::default() },
             ..base_cfg.clone()
         };
-        let bp = simulate(&trace, Scheme::Baseline, &cfg);
+        let bp = Simulation::over(&trace).config(cfg).scheme(Scheme::Baseline).run();
         rows.push(row(format!("ResNet arity={arity}"), "Cloud".into(), Scheme::Baseline, &np, &bp));
     }
     Figure {
@@ -118,9 +118,9 @@ pub fn channel_sweep(scale: &Scale) -> Figure {
     let mut rows = Vec::new();
     for channels in [1usize, 2, 4, 8] {
         let cfg = SimConfig::overlapped(channels, 700);
-        let np = simulate(&trace, Scheme::NoProtection, &cfg);
+        let np = Simulation::over(&trace).config(cfg.clone()).run();
         for scheme in [Scheme::Mgx, Scheme::Baseline] {
-            let r = simulate(&trace, scheme, &cfg);
+            let r = Simulation::over(&trace).config(cfg.clone()).scheme(scheme).run();
             rows.push(row(format!("ResNet {channels}ch"), "Cloud".into(), scheme, &np, &r));
         }
     }
@@ -139,9 +139,9 @@ pub fn dataflow_ablation(scale: &Scale) -> Figure {
     for (name, dataflow) in [("WS", Dataflow::WeightStationary), ("OS", Dataflow::OutputStationary)]
     {
         let trace = resnet_trace(scale, dataflow);
-        let np = simulate(&trace, Scheme::NoProtection, &cfg);
+        let np = Simulation::over(&trace).config(cfg.clone()).run();
         for scheme in [Scheme::Mgx, Scheme::Baseline] {
-            let r = simulate(&trace, scheme, &cfg);
+            let r = Simulation::over(&trace).config(cfg.clone()).scheme(scheme).run();
             rows.push(row(format!("ResNet {name}"), "Cloud".into(), scheme, &np, &r));
         }
     }
@@ -159,10 +159,10 @@ pub fn vn_scheme_comparison(scale: &Scale) -> Figure {
     use mgx_core::ProtectionEngine;
     let trace = resnet_trace(scale, Dataflow::WeightStationary);
     let cfg = SimConfig::overlapped(4, 700);
-    let np = simulate(&trace, Scheme::NoProtection, &cfg);
+    let np = Simulation::over(&trace).config(cfg.clone()).run();
     let mut rows = Vec::new();
     for scheme in [Scheme::Mgx, Scheme::Baseline] {
-        let r = simulate(&trace, scheme, &cfg);
+        let r = Simulation::over(&trace).config(cfg.clone()).scheme(scheme).run();
         rows.push(row("ResNet".into(), "Cloud".into(), scheme, &np, &r));
     }
     // The split-counter engine is not one of the paper's five schemes, so

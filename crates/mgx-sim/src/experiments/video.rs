@@ -5,11 +5,11 @@
 //! same overhead comparison for completeness.
 
 use super::Evaluated;
-use crate::pipeline::{simulate, SimConfig};
+use crate::pipeline::{SimConfig, Simulation};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
-use mgx_h264::decoder::{build_decode_trace, DecoderConfig};
+use mgx_h264::decoder::{stream_decode_trace, DecoderConfig};
 use mgx_h264::GopStructure;
 
 /// Simulation setup: a modest decoder on one DDR4 channel at 500 MHz.
@@ -20,9 +20,8 @@ pub fn setup() -> SimConfig {
 /// Simulates an IBPB GOP decode under all schemes.
 pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
     let gop = GopStructure::ibpb(scale.video_frames);
-    let trace = build_decode_trace(&gop, &DecoderConfig::default());
-    let scfg = setup();
-    let results = Scheme::ALL.iter().map(|&s| simulate(&trace, s, &scfg)).collect();
+    let src = stream_decode_trace(&gop, &DecoderConfig::default());
+    let results = Simulation::over(src).config(setup()).run_all();
     vec![Evaluated { workload: "H.264-IBPB".into(), config: String::new(), results }]
 }
 

@@ -1,11 +1,13 @@
 //! End-to-end evaluation pipeline (paper Fig 11) and the experiment
 //! registry that regenerates every table and figure.
 //!
-//! The pipeline chains the workspace: an accelerator model emits a
-//! [`mgx_trace::Trace`]; a [`mgx_core::ProtectionEngine`] expands it into
+//! The pipeline chains the workspace: an accelerator model exposes a
+//! [`mgx_trace::TraceSource`] (a lazy phase stream, or a materialized
+//! [`mgx_trace::Trace`]); a [`mgx_core::ProtectionEngine`] expands it into
 //! data + metadata DRAM transactions; [`mgx_dram::DramSim`] assigns them
-//! time; and [`pipeline::simulate`] folds everything into execution time and
-//! traffic per scheme.
+//! time; and the [`pipeline::Simulation`] session builder folds everything
+//! into execution time and traffic per scheme, consuming one phase at a
+//! time so footprint is independent of workload length.
 //!
 //! Each paper figure is one function in [`experiments`] returning a
 //! [`report::Figure`] whose rows can be printed ([`report::render`]) or
@@ -20,6 +22,6 @@ pub mod pipeline;
 pub mod report;
 pub mod scale;
 
-pub use pipeline::{simulate, PhaseMode, RunResult, SimConfig};
+pub use pipeline::{PhaseMode, RunResult, SimConfig, Simulation};
 pub use report::{render, render_json, Figure, Row};
 pub use scale::Scale;

@@ -1,8 +1,19 @@
 //! Trace → protection → DRAM → execution-time simulation.
+//!
+//! The entry point is the [`Simulation`] session builder: point it at any
+//! [`TraceSource`] — a materialized [`mgx_trace::Trace`], a workload
+//! crate's `stream_*` generator, or a bare `(RegionMap, iterator)` pair —
+//! pick a scheme and configuration, and [`Simulation::run`] (or
+//! [`Simulation::run_all`] for the five-scheme sweep) consumes the phase
+//! stream one phase at a time. Peak memory is O(one phase), independent of
+//! workload length: a transaction is handed to the DRAM model the moment
+//! the protection engine expands it (writes are held only until the
+//! phase's reads have issued, mirroring a real controller's read-priority
+//! batching).
 
-use mgx_core::{scheme_engine, MetaTraffic, ProtectionConfig, Scheme};
+use mgx_core::{scheme_engine, LineTxn, MetaTraffic, ProtectionConfig, Scheme};
 use mgx_dram::{DramConfig, DramSim, DramStats};
-use mgx_trace::Trace;
+use mgx_trace::{Phase, RegionMap, TraceSource};
 
 /// How a phase's compute and memory relate in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,7 +30,7 @@ pub enum PhaseMode {
     },
 }
 
-/// Everything the simulator needs besides the trace.
+/// Everything the simulator needs besides the workload.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// DRAM channel configuration.
@@ -42,9 +53,21 @@ impl SimConfig {
             protection: ProtectionConfig::default(),
         }
     }
+
+    /// Converts accelerator cycles to DRAM cycles without losing precision.
+    fn to_dram(&self, cycles: u64) -> u64 {
+        (cycles as u128 * self.dram.freq_mhz as u128 / self.accel_freq_mhz as u128) as u64
+    }
 }
 
-/// Result of simulating one trace under one scheme.
+/// The paper's Cloud setup (four DDR4-2400 channels, 700 MHz accelerator).
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::overlapped(4, 700)
+    }
+}
+
+/// Result of simulating one workload under one scheme.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Scheme simulated.
@@ -66,99 +89,234 @@ impl RunResult {
     }
 }
 
-/// Simulates `trace` under `scheme`, returning time and traffic.
-pub fn simulate(trace: &Trace, scheme: Scheme, cfg: &SimConfig) -> RunResult {
-    let mut engine = scheme_engine(scheme, &trace.regions, &cfg.protection);
-    let mut dram = DramSim::new(cfg.dram);
-    // Convert accelerator cycles to DRAM cycles without losing precision.
-    let to_dram = |cycles: u64| -> u64 {
-        (cycles as u128 * cfg.dram.freq_mhz as u128 / cfg.accel_freq_mhz as u128) as u64
-    };
+/// One scheme's in-flight state while phases stream through it.
+struct SchemeRun {
+    scheme: Scheme,
+    engine: Box<dyn mgx_core::ProtectionEngine>,
+    dram: DramSim,
+    mode: ModeState,
+    /// Per-phase write staging (reused): reads issue the moment the engine
+    /// emits them; writes drain after the phase's reads, which is what a
+    /// real controller does to amortize bus turnarounds — fine-grained R/W
+    /// interleaving would otherwise pay tWTR/tRTW per line.
+    write_buf: Vec<LineTxn>,
+}
 
-    let end = match cfg.mode {
-        PhaseMode::Overlapped => {
-            let mut now = 0u64;
-            let mut txns = Vec::new();
-            for phase in &trace.phases {
-                let compute = to_dram(phase.compute_cycles);
-                txns.clear();
-                for req in &phase.requests {
-                    engine.expand(req, &mut |txn| txns.push(txn));
-                }
-                let mem_done = issue_batched(&mut dram, now, &txns);
-                now += compute.max(mem_done - now);
+enum ModeState {
+    Overlapped {
+        now: u64,
+    },
+    Serial {
+        units: usize,
+        /// Unit clocks, staggered across one tile's compute on the first
+        /// phase so the engines pipeline instead of issuing convoys in
+        /// lockstep (tiles are dispatched one by one by the front-end).
+        /// The stagger base is the first phase's compute time — a
+        /// streaming-friendly stand-in for the whole-trace average, and
+        /// identical to it for the uniform-tile workloads that run serial
+        /// mode. `None` until the first phase arrives.
+        clocks: Option<Vec<u64>>,
+    },
+}
+
+impl SchemeRun {
+    fn new(scheme: Scheme, regions: &RegionMap, cfg: &SimConfig) -> Self {
+        let mode = match cfg.mode {
+            PhaseMode::Overlapped => ModeState::Overlapped { now: 0 },
+            PhaseMode::Serial { units } => {
+                ModeState::Serial { units: units.max(1) as usize, clocks: None }
             }
-            now
+        };
+        Self {
+            scheme,
+            engine: scheme_engine(scheme, regions, &cfg.protection),
+            dram: DramSim::new(cfg.dram),
+            mode,
+            write_buf: Vec::new(),
         }
-        PhaseMode::Serial { units } => {
-            let units = units.max(1) as usize;
-            // Stagger unit start times across one average tile so the
-            // engines pipeline instead of issuing convoys in lockstep
-            // (tiles are dispatched one by one by the front-end).
-            let avg_compute = to_dram(
-                trace.phases.iter().map(|p| p.compute_cycles).sum::<u64>()
-                    / trace.phases.len().max(1) as u64,
-            );
-            let mut clocks: Vec<u64> =
-                (0..units).map(|u| u as u64 * avg_compute / units as u64).collect();
-            let mut txns = Vec::new();
-            for phase in &trace.phases {
+    }
+
+    /// Expands and issues one phase's transactions, returning the cycle
+    /// the last one completes. Reads go to DRAM as the engine emits them;
+    /// writes drain afterwards (see `write_buf`).
+    fn issue_phase(&mut self, start: u64, phase: &Phase) -> u64 {
+        let mut done = start;
+        let Self { engine, dram, write_buf, .. } = self;
+        write_buf.clear();
+        for req in &phase.requests {
+            engine.expand(req, &mut |txn| {
+                if txn.dir.is_read() {
+                    done = done.max(dram.access(start, txn.addr, txn.dir));
+                } else {
+                    write_buf.push(txn);
+                }
+            });
+        }
+        for txn in write_buf.drain(..) {
+            done = done.max(dram.access(start, txn.addr, txn.dir));
+        }
+        done
+    }
+
+    /// Advances this scheme's clock(s) by one phase.
+    fn step(&mut self, phase: &Phase, cfg: &SimConfig) {
+        let compute = cfg.to_dram(phase.compute_cycles);
+        // Pick the dispatch slot first (ends the mode borrow), then issue.
+        let (start, unit) = match &mut self.mode {
+            ModeState::Overlapped { now } => (*now, None),
+            ModeState::Serial { units, clocks } => {
+                let units = *units;
+                let clocks = clocks.get_or_insert_with(|| {
+                    (0..units as u64).map(|u| u * compute / units as u64).collect()
+                });
                 // Work-conserving dispatch: the next tile goes to the first
                 // idle unit. This also keeps DRAM arrival times monotone,
                 // which the bank/bus timing model requires.
                 let u = (0..units).min_by_key(|&u| clocks[u]).expect("units > 0");
-                let start = clocks[u];
-                txns.clear();
-                for req in &phase.requests {
-                    engine.expand(req, &mut |txn| txns.push(txn));
-                }
-                let mem_done = issue_batched(&mut dram, start, &txns);
-                clocks[u] = mem_done + to_dram(phase.compute_cycles);
+                (clocks[u], Some(u))
             }
-            clocks.into_iter().max().unwrap_or(0)
+        };
+        let mem_done = self.issue_phase(start, phase);
+        match (&mut self.mode, unit) {
+            (ModeState::Overlapped { now }, None) => *now += compute.max(mem_done - start),
+            (ModeState::Serial { clocks: Some(clocks), .. }, Some(u)) => {
+                clocks[u] = mem_done + compute;
+            }
+            _ => unreachable!("mode cannot change mid-run"),
         }
-    };
+    }
 
-    // Residual dirty metadata drains at the end of the run.
-    let mut final_done = end;
-    engine.flush(&mut |txn| {
-        final_done = final_done.max(dram.access(end, txn.addr, txn.dir));
-    });
-
-    RunResult {
-        scheme,
-        dram_cycles: final_done,
-        exec_ns: final_done as f64 * 1000.0 / cfg.dram.freq_mhz as f64,
-        traffic: engine.traffic(),
-        dram: dram.stats(),
+    /// Drains residual dirty metadata and closes the run.
+    fn finish(mut self, cfg: &SimConfig) -> RunResult {
+        let end = match &self.mode {
+            ModeState::Overlapped { now } => *now,
+            ModeState::Serial { clocks, .. } => {
+                clocks.as_ref().and_then(|c| c.iter().copied().max()).unwrap_or(0)
+            }
+        };
+        // Residual dirty metadata drains at the end of the run.
+        let mut final_done = end;
+        let dram = &mut self.dram;
+        self.engine.flush(&mut |txn| {
+            final_done = final_done.max(dram.access(end, txn.addr, txn.dir));
+        });
+        RunResult {
+            scheme: self.scheme,
+            dram_cycles: final_done,
+            exec_ns: final_done as f64 * 1000.0 / cfg.dram.freq_mhz as f64,
+            traffic: self.engine.traffic(),
+            dram: self.dram.stats(),
+        }
     }
 }
 
-/// Issues a phase's transactions with the read queue drained before the
-/// write queue (what a real controller does to amortize bus turnarounds —
-/// fine-grained R/W interleaving would otherwise pay tWTR/tRTW per line).
-/// Returns the completion cycle of the last transaction.
-fn issue_batched(dram: &mut DramSim, start: u64, txns: &[mgx_core::LineTxn]) -> u64 {
-    let mut done = start;
-    for t in txns.iter().filter(|t| t.dir.is_read()) {
-        done = done.max(dram.access(start, t.addr, t.dir));
-    }
-    for t in txns.iter().filter(|t| !t.dir.is_read()) {
-        done = done.max(dram.access(start, t.addr, t.dir));
-    }
-    done
+/// A fluent simulation session over any [`TraceSource`].
+///
+/// ```
+/// use mgx_core::Scheme;
+/// use mgx_sim::{SimConfig, Simulation};
+/// use mgx_trace::{DataClass, MemRequest, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let r = b.regions_mut().alloc("buf", 1 << 20, DataClass::Feature);
+/// b.begin_phase("p0", 1000);
+/// b.push(MemRequest::read(r, 0, 4096));
+/// let trace = b.finish();
+///
+/// // One scheme…
+/// let mgx = Simulation::over(&trace).scheme(Scheme::Mgx).run();
+/// // …or the whole five-scheme sweep in a single pass over the phases.
+/// let all = Simulation::over(&trace).config(SimConfig::overlapped(4, 700)).run_all();
+/// assert_eq!(all.len(), 5);
+/// assert!(mgx.dram_cycles >= all[0].dram_cycles, "NP is the floor");
+/// ```
+///
+/// The source is consumed phase by phase: simulating a generator-backed
+/// stream never materializes the workload, so footprint is independent of
+/// trace length. `run_all` drives all five schemes' engines and DRAM
+/// models concurrently down the *same* single pass — each scheme's state
+/// is independent, so the results are bit-identical to five separate runs.
+#[derive(Debug)]
+pub struct Simulation<S> {
+    source: S,
+    scheme: Scheme,
+    cfg: SimConfig,
 }
 
-/// Runs all five schemes over a trace, returning results in
-/// [`Scheme::ALL`] order.
-pub fn simulate_all(trace: &Trace, cfg: &SimConfig) -> Vec<RunResult> {
-    Scheme::ALL.iter().map(|&s| simulate(trace, s, cfg)).collect()
+impl<S: TraceSource> Simulation<S> {
+    /// Starts a session over `source` with the default configuration
+    /// ([`SimConfig::default`]: Cloud DRAM, overlapped phases) and the
+    /// [`Scheme::NoProtection`] baseline scheme.
+    pub fn over(source: S) -> Self {
+        Self { source, scheme: Scheme::NoProtection, cfg: SimConfig::default() }
+    }
+
+    /// Selects the protection scheme for [`Simulation::run`].
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the DRAM channel configuration.
+    pub fn dram(mut self, dram: DramConfig) -> Self {
+        self.cfg.dram = dram;
+        self
+    }
+
+    /// Sets the accelerator clock (phases carry cycles at this clock).
+    pub fn accel_freq_mhz(mut self, mhz: u64) -> Self {
+        self.cfg.accel_freq_mhz = mhz;
+        self
+    }
+
+    /// Sets the phase combination mode.
+    pub fn mode(mut self, mode: PhaseMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Sets the protection parameters.
+    pub fn protection(mut self, protection: ProtectionConfig) -> Self {
+        self.cfg.protection = protection;
+        self
+    }
+
+    /// Consumes the source under the selected scheme.
+    pub fn run(self) -> RunResult {
+        let (regions, phases) = self.source.into_stream();
+        let mut run = SchemeRun::new(self.scheme, &regions, &self.cfg);
+        for phase in phases {
+            run.step(&phase, &self.cfg);
+        }
+        run.finish(&self.cfg)
+    }
+
+    /// Consumes the source once, driving all five schemes concurrently;
+    /// results come back in [`Scheme::ALL`] order (`NP` first).
+    pub fn run_all(self) -> Vec<RunResult> {
+        let (regions, phases) = self.source.into_stream();
+        let mut runs: Vec<SchemeRun> =
+            Scheme::ALL.iter().map(|&s| SchemeRun::new(s, &regions, &self.cfg)).collect();
+        for phase in phases {
+            for run in &mut runs {
+                run.step(&phase, &self.cfg);
+            }
+        }
+        runs.into_iter().map(|run| run.finish(&self.cfg)).collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mgx_trace::{DataClass, MemRequest, TraceBuilder};
+    use mgx_core::Scheme;
+    use mgx_trace::{DataClass, MemRequest, Trace, TraceBuilder};
 
     /// A streaming workload big enough to exercise the metadata paths:
     /// 64 KiB double-buffered tiles (accelerator-realistic granularity).
@@ -188,7 +346,7 @@ mod tests {
         // NP < MGX < MGX_VN < MGX_MAC < BP in execution time for a
         // memory-bound streaming workload.
         let trace = stream_trace(8, 25);
-        let results = simulate_all(&trace, &cfg());
+        let results = Simulation::over(&trace).config(cfg()).run_all();
         let t: Vec<u64> = results.iter().map(|r| r.dram_cycles).collect();
         let labels: Vec<&str> = results.iter().map(|r| r.scheme.label()).collect();
         assert_eq!(labels, vec!["NP", "BP", "MGX", "MGX_VN", "MGX_MAC"]);
@@ -202,7 +360,7 @@ mod tests {
     #[test]
     fn mgx_overhead_is_near_zero_bp_is_not() {
         let trace = stream_trace(8, 25);
-        let results = simulate_all(&trace, &cfg());
+        let results = Simulation::over(&trace).config(cfg()).run_all();
         let np = results[0].dram_cycles as f64;
         let bp = results[1].dram_cycles as f64 / np;
         let mgx = results[2].dram_cycles as f64 / np;
@@ -213,7 +371,7 @@ mod tests {
     #[test]
     fn np_time_tracks_raw_bandwidth() {
         let trace = stream_trace(4, 0);
-        let r = simulate(&trace, Scheme::NoProtection, &cfg());
+        let r = Simulation::over(&trace).config(cfg()).scheme(Scheme::NoProtection).run();
         let ideal = (4u64 << 20) as f64 / cfg().dram.peak_bytes_per_cycle();
         assert!(
             (r.dram_cycles as f64) < 1.3 * ideal,
@@ -233,7 +391,7 @@ mod tests {
             b.push(MemRequest::read(r, base + i * 4096, 4096));
         }
         let trace = b.finish();
-        let results = simulate_all(&trace, &cfg());
+        let results = Simulation::over(&trace).config(cfg()).run_all();
         let np = results[0].dram_cycles;
         let bp = results[1].dram_cycles;
         assert!((bp as f64) < 1.001 * np as f64, "fully compute-bound: BP {bp} vs NP {np}");
@@ -247,16 +405,12 @@ mod tests {
         b.begin_phase("tile", 7000); // 7000 accel cycles @700MHz = 12000 DRAM cycles
         b.push(MemRequest::read(r, base, 4096));
         let trace = b.finish();
-        let overlapped = simulate(
-            &trace,
-            Scheme::NoProtection,
-            &SimConfig { mode: PhaseMode::Overlapped, ..cfg() },
-        );
-        let serial = simulate(
-            &trace,
-            Scheme::NoProtection,
-            &SimConfig { mode: PhaseMode::Serial { units: 1 }, ..cfg() },
-        );
+        let overlapped = Simulation::over(&trace)
+            .config(SimConfig { mode: PhaseMode::Overlapped, ..cfg() })
+            .run();
+        let serial = Simulation::over(&trace)
+            .config(SimConfig { mode: PhaseMode::Serial { units: 1 }, ..cfg() })
+            .run();
         assert!(serial.dram_cycles > overlapped.dram_cycles);
     }
 
@@ -270,16 +424,12 @@ mod tests {
             b.push(MemRequest::read(r, base + i * 4096, 4096));
         }
         let trace = b.finish();
-        let one = simulate(
-            &trace,
-            Scheme::NoProtection,
-            &SimConfig { mode: PhaseMode::Serial { units: 1 }, ..cfg() },
-        );
-        let many = simulate(
-            &trace,
-            Scheme::NoProtection,
-            &SimConfig { mode: PhaseMode::Serial { units: 64 }, ..cfg() },
-        );
+        let one = Simulation::over(&trace)
+            .config(SimConfig { mode: PhaseMode::Serial { units: 1 }, ..cfg() })
+            .run();
+        let many = Simulation::over(&trace)
+            .config(SimConfig { mode: PhaseMode::Serial { units: 64 }, ..cfg() })
+            .run();
         let speedup = one.dram_cycles as f64 / many.dram_cycles as f64;
         assert!(speedup > 30.0, "64 compute-bound units speed up ~64×, got {speedup:.1}");
     }
@@ -287,10 +437,48 @@ mod tests {
     #[test]
     fn traffic_equals_np_data_plus_metadata() {
         let trace = stream_trace(2, 50);
-        let np = simulate(&trace, Scheme::NoProtection, &cfg());
-        let bp = simulate(&trace, Scheme::Baseline, &cfg());
+        let np = Simulation::over(&trace).config(cfg()).scheme(Scheme::NoProtection).run();
+        let bp = Simulation::over(&trace).config(cfg()).scheme(Scheme::Baseline).run();
         assert_eq!(np.traffic.data, bp.traffic.data, "data traffic is scheme-independent");
         assert_eq!(np.traffic.meta_bytes(), 0);
         assert!(bp.traffic.meta_bytes() > 0);
+    }
+
+    #[test]
+    fn run_all_matches_individual_runs() {
+        let trace = stream_trace(2, 25);
+        let swept = Simulation::over(&trace).config(cfg()).run_all();
+        for (expected, &scheme) in swept.iter().zip(Scheme::ALL.iter()) {
+            let single = Simulation::over(&trace).config(cfg()).scheme(scheme).run();
+            assert_eq!(single.scheme, expected.scheme);
+            assert_eq!(single.dram_cycles, expected.dram_cycles, "{scheme:?} diverged");
+            assert_eq!(single.traffic, expected.traffic);
+            assert_eq!(single.dram, expected.dram);
+        }
+    }
+
+    #[test]
+    fn generator_backed_source_runs_without_a_trace() {
+        // The same tile stream as `stream_trace(1, 0)`, produced lazily.
+        const TILE: u64 = 64 << 10;
+        let trace = stream_trace(1, 0);
+        let mut regions = mgx_trace::RegionMap::new();
+        let r = regions.alloc("buf", 1 << 20, DataClass::Feature);
+        let base = regions.get(r).base;
+        let mut i = 0u64;
+        let phases = std::iter::from_fn(move || {
+            (i < (1 << 20) / TILE).then(|| {
+                let mut p = mgx_trace::Phase::new(format!("p{i}"), 0);
+                p.requests.push(MemRequest::read(r, base + i * TILE, TILE));
+                i += 1;
+                p
+            })
+        });
+        let streamed = Simulation::over((regions, phases)).config(cfg()).run_all();
+        let collected = Simulation::over(&trace).config(cfg()).run_all();
+        for (s, c) in streamed.iter().zip(&collected) {
+            assert_eq!(s.dram_cycles, c.dram_cycles);
+            assert_eq!(s.traffic, c.traffic);
+        }
     }
 }

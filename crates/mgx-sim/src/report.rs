@@ -59,13 +59,16 @@ impl Figure {
     }
 }
 
+/// Minimal JSON string escaping shared by the `--json` renderers (here and
+/// `experiments::render_claims_json`).
+pub(crate) fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Renders a figure as a JSON object (for downstream plotting without any
 /// extra dependencies — the structure is flat and the only strings are
 /// workload labels, escaped minimally).
 pub fn render_json(fig: &Figure) -> String {
-    fn esc(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
-    }
     let mut out = String::new();
     out.push_str(&format!(
         "{{\"id\":\"{}\",\"title\":\"{}\",\"rows\":[",

@@ -2,11 +2,14 @@
 //! protection/performance simulators (paper Fig 11).
 //!
 //! An accelerator model (DNN systolic array, graph SpMV engine, GACT,
-//! H.264 decoder) emits a [`Trace`]: an ordered list of [`Phase`]s, each
-//! carrying the compute cycles of that phase and the coarse-grained
-//! [`MemRequest`]s it issues. The memory-protection engines in `mgx-core`
-//! expand those requests into 64-byte DRAM line transactions (data +
-//! metadata), and `mgx-dram` assigns them time.
+//! H.264 decoder) exposes a [`TraceSource`]: region declarations plus a
+//! lazy stream of [`Phase`]s, each carrying the compute cycles of that
+//! phase and the coarse-grained [`MemRequest`]s it issues. The
+//! memory-protection engines in `mgx-core` expand those requests into
+//! 64-byte DRAM line transactions (data + metadata), and `mgx-dram`
+//! assigns them time — one phase at a time, so workload length never
+//! dictates memory footprint. A fully materialized [`Trace`] is the
+//! collected special case ([`TraceSource::collect_trace`]).
 //!
 //! Requests reference [`Region`]s — named address ranges with a
 //! [`DataClass`] (features, weights, adjacency, …). The data class is what
@@ -18,11 +21,13 @@
 
 mod region;
 mod request;
+pub mod source;
 pub mod stats;
 mod trace;
 
 pub use region::{DataClass, Region, RegionId, RegionMap};
 pub use request::{Dir, MemRequest};
+pub use source::{LazyPhases, PhaseBuf, PhaseSink, TraceSource};
 pub use stats::TraceStats;
 pub use trace::{Phase, Trace, TraceBuilder, Traffic};
 

@@ -1,0 +1,316 @@
+//! Lazy phase streams: simulate workloads without materializing their
+//! traces.
+//!
+//! A fully collected [`Trace`] costs memory proportional to the entire
+//! request stream — the wrong shape for the multi-GB workloads the paper
+//! targets. [`TraceSource`] is the streaming generalization the pipeline
+//! consumes instead: region declarations (always small, known up front)
+//! plus a lazy iterator of [`Phase`]s. The simulator pulls phases one at a
+//! time, so peak memory is O(one phase) regardless of workload length.
+//!
+//! Three kinds of sources qualify:
+//!
+//! * a materialized [`Trace`] (or `&Trace`), for small workloads and tests;
+//! * any `(RegionMap, impl IntoIterator<Item = Phase>)` pair — e.g. a
+//!   [`std::iter::from_fn`] closure generating phases on the fly;
+//! * the workload crates' `stream_*` constructors, which drive their
+//!   emission logic step by step through [`LazyPhases`].
+//!
+//! [`TraceSource::collect_trace`] recovers the materialized special case.
+//!
+//! # Example
+//!
+//! ```
+//! use mgx_trace::{DataClass, MemRequest, Phase, RegionMap, TraceSource};
+//!
+//! let mut regions = RegionMap::new();
+//! let r = regions.alloc("stream", 1 << 30, DataClass::Feature);
+//! let base = regions.get(r).base;
+//! let mut i = 0u64;
+//! let phases = std::iter::from_fn(move || {
+//!     (i < 4).then(|| {
+//!         let mut p = Phase::new(format!("tile{i}"), 1000);
+//!         p.requests.push(MemRequest::read(r, base + i * 4096, 4096));
+//!         i += 1;
+//!         p
+//!     })
+//! });
+//! let trace = (regions, phases).collect_trace();
+//! assert_eq!(trace.phases.len(), 4);
+//! assert_eq!(trace.traffic().read_bytes, 4 * 4096);
+//! ```
+
+use crate::{MemRequest, Phase, RegionMap, Trace};
+use std::collections::VecDeque;
+
+/// A workload the simulator can consume phase by phase.
+///
+/// Splitting a source yields its region declarations eagerly (protection
+/// engines need them to build per-region policy before the first request)
+/// and its phases lazily. Consuming the stream is single-shot: sources are
+/// moved into the pipeline, mirroring how an accelerator run can only be
+/// observed once. Re-simulating a workload means constructing the source
+/// again — or collecting it once via [`TraceSource::collect_trace`].
+pub trait TraceSource {
+    /// The lazy phase stream.
+    type Phases: Iterator<Item = Phase>;
+
+    /// Splits the source into region declarations and the phase stream.
+    fn into_stream(self) -> (RegionMap, Self::Phases);
+
+    /// Materializes the source into a [`Trace`] (the collected special
+    /// case). Costs memory proportional to the whole workload — only do
+    /// this when the trace is reused many times (e.g. sensitivity sweeps).
+    fn collect_trace(self) -> Trace
+    where
+        Self: Sized,
+    {
+        let (regions, phases) = self.into_stream();
+        Trace { regions, phases: phases.collect() }
+    }
+}
+
+impl TraceSource for Trace {
+    type Phases = std::vec::IntoIter<Phase>;
+
+    fn into_stream(self) -> (RegionMap, Self::Phases) {
+        (self.regions, self.phases.into_iter())
+    }
+
+    fn collect_trace(self) -> Trace {
+        self
+    }
+}
+
+impl<'a> TraceSource for &'a Trace {
+    type Phases = std::iter::Cloned<std::slice::Iter<'a, Phase>>;
+
+    fn into_stream(self) -> (RegionMap, Self::Phases) {
+        (self.regions.clone(), self.phases.iter().cloned())
+    }
+}
+
+/// Any `(regions, phases)` pair is a source: pair a [`RegionMap`] with a
+/// closure-based generator (e.g. [`std::iter::from_fn`]) and feed it
+/// straight to the pipeline.
+impl<I: IntoIterator<Item = Phase>> TraceSource for (RegionMap, I) {
+    type Phases = I::IntoIter;
+
+    fn into_stream(self) -> (RegionMap, Self::Phases) {
+        (self.0, self.1.into_iter())
+    }
+}
+
+/// Somewhere phases can be emitted incrementally.
+///
+/// The accelerator models' emission helpers (`emit_gemm`, per-op lowering,
+/// …) are generic over this trait, so the same code path fills a
+/// [`crate::TraceBuilder`] when collecting and a [`PhaseBuf`] when
+/// streaming.
+pub trait PhaseSink {
+    /// Starts a new phase, sealing the previous one.
+    fn begin_phase(&mut self, label: impl Into<String>, compute_cycles: u64);
+
+    /// Adds a request to the current phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase has been started, and (in debug builds) if the
+    /// request is zero-sized.
+    fn push(&mut self, req: MemRequest);
+
+    /// Adds extra compute cycles to the current phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phase has been started.
+    fn add_compute(&mut self, cycles: u64);
+}
+
+/// A plain phase buffer: the [`PhaseSink`] used by streaming generators to
+/// stage one step's phases (one op, one tile row, one read) before they are
+/// handed to the simulator and dropped.
+#[derive(Debug, Default)]
+pub struct PhaseBuf {
+    phases: Vec<Phase>,
+    current: Option<Phase>,
+}
+
+impl PhaseBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seals the current phase and returns everything buffered.
+    pub fn finish(mut self) -> Vec<Phase> {
+        if let Some(p) = self.current.take() {
+            self.phases.push(p);
+        }
+        self.phases
+    }
+}
+
+impl PhaseSink for PhaseBuf {
+    fn begin_phase(&mut self, label: impl Into<String>, compute_cycles: u64) {
+        if let Some(p) = self.current.take() {
+            self.phases.push(p);
+        }
+        self.current = Some(Phase::new(label, compute_cycles));
+    }
+
+    fn push(&mut self, req: MemRequest) {
+        debug_assert!(req.bytes > 0, "zero-byte request pushed: {req:?}");
+        self.current.as_mut().expect("begin_phase must be called before push").requests.push(req);
+    }
+
+    fn add_compute(&mut self, cycles: u64) {
+        self.current
+            .as_mut()
+            .expect("begin_phase must be called before add_compute")
+            .compute_cycles += cycles;
+    }
+}
+
+/// A lazy phase iterator driven by a step function.
+///
+/// Each call to the step function emits the phases of one workload step
+/// (one layer, one tile, one read) into a fresh [`PhaseBuf`] and returns
+/// `true` while more steps remain. The iterator drains each step's phases
+/// before requesting the next, so peak memory is one step's worth of
+/// phases — constant in the workload length.
+///
+/// This is how the workload crates express streaming generation on stable
+/// Rust (no coroutines): the emission logic stays ordinary imperative code
+/// over a [`PhaseSink`]; only the outermost loop is inverted.
+#[derive(Debug)]
+pub struct LazyPhases<F> {
+    step: F,
+    queue: VecDeque<Phase>,
+    done: bool,
+}
+
+impl<F: FnMut(&mut PhaseBuf) -> bool> LazyPhases<F> {
+    /// Creates a stream from a step function. `step` is called with an
+    /// empty buffer each time the previous step's phases are exhausted;
+    /// it returns `false` once the workload is fully emitted (any phases
+    /// it buffered on that final call are still yielded).
+    pub fn new(step: F) -> Self {
+        Self { step, queue: VecDeque::new(), done: false }
+    }
+}
+
+impl<F: FnMut(&mut PhaseBuf) -> bool> Iterator for LazyPhases<F> {
+    type Item = Phase;
+
+    fn next(&mut self) -> Option<Phase> {
+        while self.queue.is_empty() && !self.done {
+            let mut buf = PhaseBuf::new();
+            self.done = !(self.step)(&mut buf);
+            self.queue.extend(buf.finish());
+        }
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataClass, Dir, TraceBuilder};
+
+    fn two_phase_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let r = b.regions_mut().alloc("r", 1 << 20, DataClass::Feature);
+        let base = b.regions().get(r).base;
+        b.begin_phase("p0", 10);
+        b.push(MemRequest::read(r, base, 4096));
+        b.begin_phase("p1", 20);
+        b.push(MemRequest::write(r, base, 64));
+        b.finish()
+    }
+
+    #[test]
+    fn trace_roundtrips_through_stream() {
+        let t = two_phase_trace();
+        let collected = t.clone().collect_trace();
+        assert_eq!(collected.phases.len(), t.phases.len());
+        let (regions, phases) = t.clone().into_stream();
+        assert_eq!(regions.len(), 1);
+        let labels: Vec<String> = phases.map(|p| p.label).collect();
+        assert_eq!(labels, vec!["p0", "p1"]);
+    }
+
+    #[test]
+    fn borrowed_trace_is_a_source_too() {
+        let t = two_phase_trace();
+        let (regions, phases) = (&t).into_stream();
+        assert_eq!(regions.len(), t.regions.len());
+        assert_eq!(phases.count(), 2);
+        // `t` is still usable afterwards.
+        assert_eq!(t.phases.len(), 2);
+    }
+
+    #[test]
+    fn region_map_plus_iterator_is_a_source() {
+        let mut regions = RegionMap::new();
+        let r = regions.alloc("gen", 1 << 20, DataClass::Feature);
+        let base = regions.get(r).base;
+        let mut i = 0u64;
+        let gen = std::iter::from_fn(move || {
+            (i < 3).then(|| {
+                let mut p = Phase::new(format!("g{i}"), 5);
+                p.requests.push(MemRequest::read(r, base + i * 64, 64));
+                i += 1;
+                p
+            })
+        });
+        let trace = (regions, gen).collect_trace();
+        assert_eq!(trace.phases.len(), 3);
+        assert_eq!(trace.traffic(), crate::Traffic { read_bytes: 3 * 64, write_bytes: 0 });
+    }
+
+    #[test]
+    fn lazy_phases_drains_steps_in_order() {
+        let mut step = 0;
+        let stream = LazyPhases::new(move |buf: &mut PhaseBuf| {
+            step += 1;
+            // Step 2 emits nothing (e.g. an op with no DRAM activity).
+            if step != 2 {
+                buf.begin_phase(format!("s{step}a"), 1);
+                buf.begin_phase(format!("s{step}b"), 2);
+            }
+            step < 4
+        });
+        let labels: Vec<String> = stream.map(|p| p.label).collect();
+        assert_eq!(labels, vec!["s1a", "s1b", "s3a", "s3b", "s4a", "s4b"]);
+    }
+
+    #[test]
+    fn phase_buf_seals_like_the_builder() {
+        let mut buf = PhaseBuf::new();
+        buf.begin_phase("a", 1);
+        buf.push(MemRequest { addr: 0, bytes: 64, dir: Dir::Read, region: crate::RegionId(0) });
+        buf.add_compute(9);
+        buf.begin_phase("b", 2);
+        let phases = buf.finish();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].compute_cycles, 10);
+        assert_eq!(phases[1].requests.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_phase")]
+    fn phase_buf_push_without_phase_panics() {
+        let mut buf = PhaseBuf::new();
+        buf.push(MemRequest { addr: 0, bytes: 64, dir: Dir::Read, region: crate::RegionId(0) });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "zero-byte request")]
+    fn phase_buf_rejects_zero_byte_requests() {
+        let mut buf = PhaseBuf::new();
+        buf.begin_phase("p", 0);
+        buf.push(MemRequest { addr: 0, bytes: 0, dir: Dir::Read, region: crate::RegionId(0) });
+    }
+}

@@ -1,6 +1,6 @@
 //! Phases and whole-application traces.
 
-use crate::{Dir, MemRequest, RegionMap};
+use crate::{Dir, MemRequest, PhaseSink, RegionMap};
 
 /// Byte counters split by direction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,6 +39,18 @@ impl core::ops::Add for Traffic {
 impl core::ops::AddAssign for Traffic {
     fn add_assign(&mut self, rhs: Traffic) {
         *self = *self + rhs;
+    }
+}
+
+impl core::iter::Sum for Traffic {
+    fn sum<I: Iterator<Item = Traffic>>(iter: I) -> Traffic {
+        iter.fold(Traffic::default(), |a, b| a + b)
+    }
+}
+
+impl<'a> core::iter::Sum<&'a Traffic> for Traffic {
+    fn sum<I: Iterator<Item = &'a Traffic>>(iter: I) -> Traffic {
+        iter.copied().sum()
     }
 }
 
@@ -87,7 +99,7 @@ pub struct Trace {
 impl Trace {
     /// Total raw data traffic across all phases.
     pub fn traffic(&self) -> Traffic {
-        self.phases.iter().map(Phase::traffic).fold(Traffic::default(), |a, b| a + b)
+        self.phases.iter().map(Phase::traffic).sum()
     }
 
     /// Total compute cycles across all phases (accelerator clock).
@@ -148,8 +160,12 @@ impl TraceBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if no phase has been started.
+    /// Panics if no phase has been started, and (in debug builds) if the
+    /// request is zero-sized: `bytes == 0` would make the engines' line
+    /// arithmetic (`end() - 1`) underflow, so such requests must never
+    /// enter a trace — emitters skip empty transfers instead.
     pub fn push(&mut self, req: MemRequest) {
+        debug_assert!(req.bytes > 0, "zero-byte request pushed: {req:?}");
         self.current.as_mut().expect("begin_phase must be called before push").requests.push(req);
     }
 
@@ -175,6 +191,22 @@ impl TraceBuilder {
     pub fn finish(mut self) -> Trace {
         self.seal();
         self.trace
+    }
+}
+
+/// The builder is a [`PhaseSink`], so streaming emitters also fill
+/// materialized traces.
+impl PhaseSink for TraceBuilder {
+    fn begin_phase(&mut self, label: impl Into<String>, compute_cycles: u64) {
+        TraceBuilder::begin_phase(self, label, compute_cycles);
+    }
+
+    fn push(&mut self, req: MemRequest) {
+        TraceBuilder::push(self, req);
+    }
+
+    fn add_compute(&mut self, cycles: u64) {
+        TraceBuilder::add_compute(self, cycles);
     }
 }
 
@@ -221,6 +253,17 @@ mod tests {
     fn push_without_phase_panics() {
         let mut b = TraceBuilder::new();
         b.push(req(Dir::Read, 64));
+    }
+
+    /// Regression: zero-byte requests used to be accepted silently, then
+    /// underflowed `MemRequest::end() - 1` in the engines' line expansion.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "zero-byte request")]
+    fn push_rejects_zero_byte_requests() {
+        let mut b = TraceBuilder::new();
+        b.begin_phase("p", 0);
+        b.push(req(Dir::Read, 0));
     }
 
     #[test]

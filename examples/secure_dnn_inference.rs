@@ -5,11 +5,10 @@
 //! cargo run --release --example secure_dnn_inference
 //! ```
 
-use mgx::core::Scheme;
 use mgx::dnn::trace::build_inference_trace;
 use mgx::dnn::Model;
 use mgx::scalesim::{ArrayConfig, Dataflow};
-use mgx::sim::{simulate, SimConfig};
+use mgx::sim::{SimConfig, Simulation};
 
 fn main() {
     let model = Model::resnet50(2);
@@ -29,16 +28,17 @@ fn main() {
     );
 
     let scfg = SimConfig::overlapped(4, acfg.freq_mhz);
-    let np = simulate(&trace, Scheme::NoProtection, &scfg);
+    // One pass over the phases drives all five schemes at once.
+    let results = Simulation::over(&trace).config(scfg).run_all();
+    let np = results[0].clone();
     println!(
         "{:<8} {:>12} {:>10} {:>10} {:>9} {:>9}",
         "scheme", "exec (ms)", "exec×", "traffic×", "MAC-ov%", "VN-ov%"
     );
-    for scheme in Scheme::ALL {
-        let r = simulate(&trace, scheme, &scfg);
+    for r in &results {
         println!(
             "{:<8} {:>12.3} {:>10.3} {:>10.3} {:>9.1} {:>9.1}",
-            scheme.label(),
+            r.scheme.label(),
             r.exec_ns / 1e6,
             r.dram_cycles as f64 / np.dram_cycles as f64,
             r.total_bytes() as f64 / np.total_bytes() as f64,

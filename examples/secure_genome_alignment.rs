@@ -9,13 +9,13 @@
 use mgx::core::secure::MgxSecureMemory;
 use mgx::core::vn::GenomeVnState;
 use mgx::core::{MacGranularity, Scheme};
-use mgx::genome::accel::{build_gact_trace, GactAccelConfig, GenomeWorkload};
+use mgx::genome::accel::{stream_gact_trace, GactAccelConfig, GenomeWorkload};
 use mgx::genome::dsoft::{dsoft, DsoftParams};
 use mgx::genome::gact::{extend, Scoring};
 use mgx::genome::index::SeedIndex;
 use mgx::genome::{ErrorProfile, ReadSimulator, Reference};
 use mgx::sim::experiments::genome as genome_exp;
-use mgx::sim::simulate;
+use mgx::sim::Simulation;
 use mgx::trace::RegionId;
 
 fn main() -> Result<(), mgx::crypto::TagMismatch> {
@@ -81,12 +81,16 @@ fn main() -> Result<(), mgx::crypto::TagMismatch> {
         profile: ErrorProfile::pacbio(),
     };
     let accel = GactAccelConfig::default();
-    let trace = build_gact_trace(&w, &accel, 24, 1920, 800, 9);
     let scfg = genome_exp::setup(&accel);
-    let np = simulate(&trace, Scheme::NoProtection, &scfg);
+    // Each run re-synthesizes the read stream: nothing is materialized.
+    let run = |scheme: Scheme| {
+        let src = stream_gact_trace(&w, &accel, 24, 1920, 800, 9);
+        Simulation::over(src).config(scfg.clone()).scheme(scheme).run()
+    };
+    let np = run(Scheme::NoProtection);
     println!("{:<8} {:>10} {:>10}", "scheme", "exec×", "traffic×");
     for scheme in [Scheme::NoProtection, Scheme::MgxVn, Scheme::Baseline] {
-        let r = simulate(&trace, scheme, &scfg);
+        let r = if scheme == Scheme::NoProtection { np.clone() } else { run(scheme) };
         println!(
             "{:<8} {:>10.3} {:>10.3}",
             scheme.label(),

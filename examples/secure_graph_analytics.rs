@@ -8,11 +8,10 @@
 
 use mgx::core::secure::MgxSecureMemory;
 use mgx::core::vn::GraphVnState;
-use mgx::core::Scheme;
-use mgx::graph::accel::{build_graph_trace, GraphAccelConfig, GraphWorkload};
+use mgx::graph::accel::{stream_graph_trace, GraphAccelConfig, GraphWorkload};
 use mgx::graph::algorithms::pagerank;
 use mgx::graph::rmat::RmatGenerator;
-use mgx::sim::{simulate, SimConfig};
+use mgx::sim::{SimConfig, Simulation};
 use mgx::trace::RegionId;
 
 fn main() -> Result<(), mgx::crypto::TagMismatch> {
@@ -68,16 +67,17 @@ fn main() -> Result<(), mgx::crypto::TagMismatch> {
     println!("functional secure PageRank matches plain PageRank (Σ|Δ| = {diff:.2e})\n");
 
     // ---- accelerator pass: protection overheads ------------------------
-    let trace =
-        build_graph_trace(&g, GraphWorkload::PageRank { iters: 3 }, &GraphAccelConfig::default());
-    let scfg = SimConfig::overlapped(4, 800);
-    let np = simulate(&trace, Scheme::NoProtection, &scfg);
+    // The tile schedule streams straight into the five engines; no trace
+    // vector is ever materialized.
+    let src =
+        stream_graph_trace(&g, GraphWorkload::PageRank { iters: 3 }, &GraphAccelConfig::default());
+    let results = Simulation::over(src).config(SimConfig::overlapped(4, 800)).run_all();
+    let np = &results[0];
     println!("{:<8} {:>10} {:>10}", "scheme", "exec×", "traffic×");
-    for scheme in Scheme::ALL {
-        let r = simulate(&trace, scheme, &scfg);
+    for r in &results {
         println!(
             "{:<8} {:>10.3} {:>10.3}",
-            scheme.label(),
+            r.scheme.label(),
             r.dram_cycles as f64 / np.dram_cycles as f64,
             r.total_bytes() as f64 / np.total_bytes() as f64
         );

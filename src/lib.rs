@@ -8,7 +8,7 @@
 //! |---|---|
 //! | [`crypto`] | AES-128, AES-CTR, GHASH/GCM, CMAC, 8-ary Merkle tree |
 //! | [`core`] | protection schemes, on-chip VN generators, functional secure memory, traffic engines |
-//! | [`trace`] | memory requests, phases, regions |
+//! | [`trace`] | memory requests, phases, regions, streaming `TraceSource`s |
 //! | [`dram`] | event-driven DDR4 timing simulator |
 //! | [`cache`] | set-associative metadata cache |
 //! | [`scalesim`] | systolic-array DNN accelerator model |
@@ -16,7 +16,7 @@
 //! | [`graph`] | GraphBLAS substrate, PageRank/BFS/SSSP, graph accelerator |
 //! | [`genome`] | Darwin/GACT pipeline: reads, D-SOFT, banded alignment |
 //! | [`h264`] | GOP scheduling, secure video decoder |
-//! | [`sim`] | end-to-end pipeline + every figure of the evaluation |
+//! | [`sim`] | `Simulation` session builder (constant-memory pipeline) + every figure of the evaluation |
 //!
 //! ## Quickstart
 //!
@@ -44,8 +44,33 @@
 //! # }
 //! ```
 //!
-//! See `examples/` for complete scenarios and `DESIGN.md`/`EXPERIMENTS.md`
-//! for the reproduction methodology and measured results.
+//! ## Simulating a workload
+//!
+//! Performance evaluation goes through the [`sim::Simulation`] session
+//! builder, which accepts any [`trace::TraceSource`] — a workload crate's
+//! streaming generator (shown here; nothing is materialized) or a collected
+//! [`trace::Trace`] — and consumes it one phase at a time:
+//!
+//! ```
+//! use mgx::core::Scheme;
+//! use mgx::dnn::{trace::stream_inference_trace, Model};
+//! use mgx::scalesim::{ArrayConfig, Dataflow};
+//! use mgx::sim::{SimConfig, Simulation};
+//!
+//! let model = Model::alexnet(1);
+//! let src = stream_inference_trace(&model, &ArrayConfig::cloud(), Dataflow::WeightStationary);
+//! // One pass over the lazy phase stream drives all five schemes.
+//! let results = Simulation::over(src).config(SimConfig::overlapped(4, 700)).run_all();
+//! assert_eq!(results.len(), 5);
+//! let np = &results[0];
+//! let mgx = results.iter().find(|r| r.scheme == Scheme::Mgx).unwrap();
+//! assert!((mgx.dram_cycles as f64) < 1.06 * np.dram_cycles as f64, "near-zero overhead");
+//! ```
+//!
+//! See `examples/` for complete scenarios (including
+//! `streaming_simulation`, a multi-GiB workload simulated in constant
+//! memory) and `DESIGN.md`/`EXPERIMENTS.md` for the reproduction
+//! methodology and measured results.
 
 #![forbid(unsafe_code)]
 
