@@ -10,7 +10,9 @@
 //! `mgx_sim::Scale`); the default is the standard scale recorded in
 //! EXPERIMENTS.md. `--json` switches every figure (and the summary table)
 //! to machine-readable per-scheme JSON, one object per line, for
-//! downstream plotting.
+//! downstream plotting. `--threads N` fans the independent workloads of
+//! each suite across `N` pool workers (`0` = one per core); results are
+//! byte-identical to the serial run, only wall-clock changes.
 
 use mgx_core::MetaTraffic;
 use mgx_sim::experiments::{self, dnn, genome, graph, sensitivity, video, Evaluated};
@@ -30,8 +32,28 @@ fn log_volume(name: &str, evals: &[Evaluated]) {
     );
 }
 
+/// Extracts every `--threads N` / `--threads=N` from `args` (last wins),
+/// removing what it consumed. Absent → 1 (serial); `0` → one worker per
+/// core.
+fn parse_threads(args: &mut Vec<String>) -> usize {
+    let mut threads = 1;
+    while let Some(i) = args.iter().position(|a| a == "--threads" || a.starts_with("--threads=")) {
+        let flag = args.remove(i);
+        let value = match flag.strip_prefix("--threads=") {
+            Some(v) => v.to_string(),
+            None => {
+                assert!(i < args.len(), "--threads needs a value (0 = all cores)");
+                args.remove(i)
+            }
+        };
+        threads = value.parse().expect("--threads takes an integer (0 = all cores)");
+    }
+    threads
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = parse_threads(&mut args);
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let scale = if quick { Scale::quick() } else { Scale::standard() };
@@ -46,6 +68,7 @@ fn main() {
     let args = if args.is_empty() { vec!["all".to_string()] } else { args };
 
     eprintln!("# scale: {scale:?}");
+    eprintln!("# threads: {} ({threads} requested)", mgx_sim::parallel::resolve_threads(threads));
 
     let need_dnn_inf = ["fig3", "fig12a", "fig13a", "summary"].iter().any(|f| wants(&args, f));
     let need_dnn_train = ["fig3", "fig12b", "fig13b", "summary"].iter().any(|f| wants(&args, f));
@@ -53,7 +76,7 @@ fn main() {
 
     let dnn_inf: Vec<Evaluated> = if need_dnn_inf {
         eprintln!("# simulating DNN inference suite…");
-        let e = dnn::evaluate_inference(&scale);
+        let e = dnn::evaluate_inference_on(&scale, threads);
         log_volume("DNN inference", &e);
         e
     } else {
@@ -61,7 +84,7 @@ fn main() {
     };
     let dnn_train: Vec<Evaluated> = if need_dnn_train {
         eprintln!("# simulating DNN training suite…");
-        let e = dnn::evaluate_training(&scale);
+        let e = dnn::evaluate_training_on(&scale, threads);
         log_volume("DNN training", &e);
         e
     } else {
@@ -69,7 +92,7 @@ fn main() {
     };
     let graphs: Vec<Evaluated> = if need_graph {
         eprintln!("# simulating graph suite…");
-        let e = graph::evaluate(&scale);
+        let e = graph::evaluate_on(&scale, threads);
         log_volume("graph", &e);
         e
     } else {
@@ -99,11 +122,11 @@ fn main() {
     }
     if wants(&args, "fig16") {
         eprintln!("# simulating GACT suite…");
-        let g = genome::evaluate(&scale);
+        let g = genome::evaluate_on(&scale, threads);
         print(&genome::fig16(&g));
     }
     if wants(&args, "h264") {
-        let v = video::evaluate(&scale);
+        let v = video::evaluate_on(&scale, threads);
         print(&video::fig_h264(&v));
     }
     if wants(&args, "pruning") {
@@ -111,7 +134,7 @@ fn main() {
     }
     if wants(&args, "ablations") {
         eprintln!("# running ablation sweeps…");
-        for fig in sensitivity::all(&scale) {
+        for fig in sensitivity::all_on(&scale, threads) {
             print(&fig);
         }
     }

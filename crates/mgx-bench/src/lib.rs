@@ -3,6 +3,8 @@
 //!
 //! Run `cargo run -p mgx-bench --release --bin figures -- all` for the full
 //! evaluation, or pass figure ids (`fig3 fig12a fig13b fig14a fig16 h264
-//! pruning summary`). `--quick` switches to the reduced CI scale.
+//! pruning summary`). `--quick` switches to the reduced CI scale;
+//! `--threads 0` fans the sweeps across every core (byte-identical output,
+//! see `benches/parallel.rs` for the serial-vs-parallel comparison).
 
 #![forbid(unsafe_code)]

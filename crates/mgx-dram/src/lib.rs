@@ -279,21 +279,29 @@ impl DramSim {
         let ch = &mut self.channels[loc.channel];
 
         // Periodic refresh: any transaction arriving past the refresh point
-        // pays tRFC on its rank (coarse but bandwidth-accurate).
-        let mut refresh_floor = 0;
-        while arrival.max(ch.bus_free) >= ch.next_refresh {
-            let start = ch.next_refresh;
-            refresh_floor = start + cfg.t_rfc;
+        // pays tRFC on its rank (coarse but bandwidth-accurate). All
+        // elapsed tREFI windows are caught up arithmetically in one batch —
+        // a first access after a multi-second compute gap must not iterate
+        // O(gap/tREFI) times. Only the last window's tRFC floor matters for
+        // bank state (the floors are monotone), and the refresh count is
+        // exactly what the one-per-window loop would have accumulated.
+        let horizon = arrival.max(ch.bus_free);
+        let t = if horizon >= ch.next_refresh {
+            let intervals = (horizon - ch.next_refresh) / cfg.t_refi + 1;
+            let last_start = ch.next_refresh + (intervals - 1) * cfg.t_refi;
+            let refresh_floor = last_start + cfg.t_rfc;
             for rank in &mut ch.ranks {
                 for bank in &mut rank.banks {
                     bank.open_row = None;
                     bank.ready_act = bank.ready_act.max(refresh_floor);
                 }
             }
-            ch.next_refresh += cfg.t_refi;
-            self.stats.refreshes += 1;
-        }
-        let t = arrival.max(refresh_floor);
+            ch.next_refresh = last_start + cfg.t_refi;
+            self.stats.refreshes += intervals;
+            arrival.max(refresh_floor)
+        } else {
+            arrival
+        };
 
         let rank = &mut ch.ranks[loc.rank];
         let bank = &mut rank.banks[loc.bank];
@@ -506,6 +514,40 @@ mod tests {
         // tRFC/tREFI ≈ 4.5% plus row misses.
         assert!(loss > 0.03, "refresh+activate loss {loss:.3} too small");
         assert!(loss < 0.20, "loss {loss:.3} implausibly large");
+    }
+
+    #[test]
+    fn huge_compute_gap_catches_up_without_iterating() {
+        // Regression: the refresh catch-up used to loop once per elapsed
+        // tREFI window, so an access after a 10^12-cycle compute gap spun
+        // ~10^8 times. The arithmetic catch-up must complete instantly and
+        // record exactly the windows the loop would have.
+        let mut sim = one_channel();
+        let cfg = sim.config();
+        sim.access(0, 0, Dir::Read);
+        let gap = 1_000_000_000_000u64; // ~14 minutes of DRAM time
+        let done = sim.access(gap, 64, Dir::Read);
+        // (gap - t_refi)/t_refi + 1 == gap/t_refi elapsed windows.
+        assert_eq!(sim.stats().refreshes, gap / cfg.t_refi);
+        // The access lands mid-window (no tRFC in its way: gap is far past
+        // the last refresh start + tRFC) and the row was closed by refresh.
+        assert_eq!(done, gap + cfg.t_rcd + cfg.t_cl + cfg.t_bl);
+        assert_eq!(sim.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn batched_refresh_matches_per_window_accounting() {
+        // Two accesses straddling a handful of windows: the batch must
+        // charge the same count and the same tRFC floor as stepping
+        // window-by-window would.
+        let cfg = DramConfig::ddr4_2400(1);
+        let mut sim = DramSim::new(cfg);
+        let arrival = cfg.t_refi * 5 + 3; // inside the 6th window
+        let done = sim.access(arrival, 0, Dir::Read);
+        assert_eq!(sim.stats().refreshes, 5);
+        // The 5th refresh starts at 5·tREFI and blocks ACTs until +tRFC;
+        // the access arrives 3 cycles in, so it waits out the remainder.
+        assert_eq!(done, cfg.t_refi * 5 + cfg.t_rfc + cfg.t_rcd + cfg.t_cl + cfg.t_bl);
     }
 
     #[test]

@@ -17,35 +17,41 @@ pub fn setups() -> Vec<(&'static str, ArrayConfig, SimConfig)> {
     ]
 }
 
-fn evaluate(models: Vec<Model>, scale: &Scale, training: bool) -> Vec<Evaluated> {
-    let mut out = Vec::new();
-    for model in &models {
-        for (name, acfg, scfg) in setups() {
-            // Phases stream straight from the lowering into the five
-            // engines — the trace is never materialized.
-            let results = if training {
-                Simulation::over(stream_training_trace(model, &acfg, Dataflow::WeightStationary))
-                    .config(scfg)
-                    .run_all()
-            } else {
-                Simulation::over(stream_inference_trace(model, &acfg, Dataflow::WeightStationary))
-                    .config(scfg)
-                    .run_all()
-            };
-            out.push(Evaluated {
-                workload: model.name.to_string(),
-                config: name.to_string(),
-                results,
-            });
-        }
-    }
-    let _ = scale;
-    out
+fn evaluate(models: Vec<Model>, training: bool, threads: usize) -> Vec<Evaluated> {
+    // Each (model, setup) sweep is independent: fan them across the pool.
+    // Within a worker the five schemes stream down a single pass, so the
+    // pool parallelism multiplies, not divides, the sweep concurrency.
+    let jobs: Vec<(Model, &'static str, ArrayConfig, SimConfig)> = models
+        .into_iter()
+        .flat_map(|m| {
+            setups().into_iter().map(move |(name, acfg, scfg)| (m.clone(), name, acfg, scfg))
+        })
+        .collect();
+    crate::parallel::map(threads, jobs, |(model, name, acfg, scfg)| {
+        // Phases stream straight from the lowering into the five
+        // engines — the trace is never materialized.
+        let results = if training {
+            Simulation::over(stream_training_trace(&model, &acfg, Dataflow::WeightStationary))
+                .config(scfg)
+                .run_all()
+        } else {
+            Simulation::over(stream_inference_trace(&model, &acfg, Dataflow::WeightStationary))
+                .config(scfg)
+                .run_all()
+        };
+        Evaluated::new(model.name, name, results)
+    })
 }
 
 /// Simulates the inference suite (VGG, AlexNet, GoogLeNet, ResNet, BERT,
 /// DLRM) on Cloud and Edge under all schemes.
 pub fn evaluate_inference(scale: &Scale) -> Vec<Evaluated> {
+    evaluate_inference_on(scale, 1)
+}
+
+/// [`evaluate_inference`] with the workloads fanned across `threads` pool
+/// workers (`0` = all cores). Output is identical to the sequential run.
+pub fn evaluate_inference_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
     let mut models = vec![
         Model::vgg16(scale.dnn_batch),
         Model::alexnet(scale.dnn_batch),
@@ -56,11 +62,17 @@ pub fn evaluate_inference(scale: &Scale) -> Vec<Evaluated> {
     ];
     // DLRM embedding tables must fit the protected capacity at any scale.
     models.truncate(6);
-    evaluate(models, scale, false)
+    evaluate(models, false, threads)
 }
 
 /// Simulates the training suite (no DLRM, as in the paper).
 pub fn evaluate_training(scale: &Scale) -> Vec<Evaluated> {
+    evaluate_training_on(scale, 1)
+}
+
+/// [`evaluate_training`] with the workloads fanned across `threads` pool
+/// workers (`0` = all cores). Output is identical to the sequential run.
+pub fn evaluate_training_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
     let models = vec![
         Model::vgg16(scale.dnn_batch),
         Model::alexnet(scale.dnn_batch),
@@ -68,7 +80,7 @@ pub fn evaluate_training(scale: &Scale) -> Vec<Evaluated> {
         Model::resnet50(scale.dnn_batch),
         Model::bert_base(scale.dnn_batch, scale.bert_seq),
     ];
-    evaluate(models, scale, true)
+    evaluate(models, true, threads)
 }
 
 /// Fig 12a/12b: memory-traffic increase of MGX and BP.
@@ -137,7 +149,7 @@ mod tests {
             Simulation::over(stream_inference_trace(&model, &acfg, Dataflow::WeightStationary))
                 .config(scfg)
                 .run_all();
-        let evals = vec![Evaluated { workload: "AlexNet".into(), config: "Edge".into(), results }];
+        let evals = vec![Evaluated::new("AlexNet", "Edge", results)];
         let f12 = fig12(&evals, false);
         assert_eq!(f12.rows.len(), 2);
         let f13 = fig13(&evals, false);

@@ -18,23 +18,26 @@ pub fn setup(accel: &GactAccelConfig) -> SimConfig {
 
 /// Simulates the nine Fig 16 workloads under all schemes.
 pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
+    evaluate_on(scale, 1)
+}
+
+/// [`evaluate`] with the workloads fanned across `threads` pool workers
+/// (`0` = all cores). Output is identical to the sequential run.
+pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
     let accel = GactAccelConfig::default();
     let scfg = setup(&accel);
-    GenomeWorkload::suite()
-        .iter()
-        .map(|w| {
-            let src = stream_gact_trace(
-                w,
-                &accel,
-                scale.genome_reads,
-                scale.genome_read_len,
-                scale.genome_divisor,
-                0xD4A,
-            );
-            let results = Simulation::over(src).config(scfg.clone()).run_all();
-            Evaluated { workload: w.label(), config: String::new(), results }
-        })
-        .collect()
+    crate::parallel::map(threads, GenomeWorkload::suite(), |w| {
+        let src = stream_gact_trace(
+            &w,
+            &accel,
+            scale.genome_reads,
+            scale.genome_read_len,
+            scale.genome_divisor,
+            0xD4A,
+        );
+        let results = Simulation::over(src).config(scfg.clone()).run_all();
+        Evaluated::new(w.label(), String::new(), results)
+    })
 }
 
 /// Fig 16: normalized execution time of GACT under MGX_VN and BP.

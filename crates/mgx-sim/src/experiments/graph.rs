@@ -17,10 +17,17 @@ pub fn setup() -> SimConfig {
 
 /// Simulates PR and BFS over the six benchmark graphs under all schemes.
 pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
+    evaluate_on(scale, 1)
+}
+
+/// [`evaluate`] with the six graphs fanned across `threads` pool workers
+/// (`0` = all cores); each worker generates its graph and runs both PR and
+/// BFS, so generation parallelizes too. Output order and bits are identical
+/// to the sequential run.
+pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
     let accel = GraphAccelConfig::default();
     let scfg = setup();
-    let mut out = Vec::new();
-    for ds in Dataset::suite() {
+    let per_dataset = crate::parallel::map(threads, Dataset::suite().to_vec(), |ds| {
         let g = ds.generate(scale.graph_divisor, 0xA11CE);
         // BFS sweep count measured on the actual graph from its busiest
         // vertex (hub), as the accelerator would execute it.
@@ -30,17 +37,17 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
             GraphWorkload::PageRank { iters: scale.pr_iters },
             GraphWorkload::Bfs { levels: sweeps.clamp(2, 10) },
         ];
-        for w in workloads {
-            let results =
-                Simulation::over(stream_graph_trace(&g, w, &accel)).config(scfg.clone()).run_all();
-            out.push(Evaluated {
-                workload: format!("{}-{}", w.label(), ds.name),
-                config: String::new(),
-                results,
-            });
-        }
-    }
-    out
+        workloads
+            .into_iter()
+            .map(|w| {
+                let results = Simulation::over(stream_graph_trace(&g, w, &accel))
+                    .config(scfg.clone())
+                    .run_all();
+                Evaluated::new(format!("{}-{}", w.label(), ds.name), String::new(), results)
+            })
+            .collect::<Vec<_>>()
+    });
+    per_dataset.into_iter().flatten().collect()
 }
 
 /// Fig 14a: memory-traffic increase of PR/BFS under MGX and BP.

@@ -21,14 +21,46 @@ pub struct Evaluated {
     pub workload: String,
     /// Configuration label (`"Cloud"`, `"Edge"`, or empty).
     pub config: String,
-    /// Results in [`Scheme::ALL`] order (`NP` first).
+    /// Results in [`Scheme::ALL`] order (`NP` first). Accessors such as
+    /// [`Evaluated::np`] rely on this order; build through
+    /// [`Evaluated::new`] so a reordered or partial sweep fails loudly
+    /// instead of silently mislabeling the baseline.
     pub results: Vec<RunResult>,
 }
 
 impl Evaluated {
+    /// Wraps a full five-scheme sweep, checking (in debug builds) that
+    /// `results` follow [`Scheme::ALL`] order — exactly what
+    /// [`crate::Simulation::run_all`] produces.
+    pub fn new(
+        workload: impl Into<String>,
+        config: impl Into<String>,
+        results: Vec<RunResult>,
+    ) -> Self {
+        debug_assert_eq!(results.len(), Scheme::ALL.len(), "partial sweep");
+        debug_assert!(
+            results.iter().zip(Scheme::ALL.iter()).all(|(r, &s)| r.scheme == s),
+            "results must be in Scheme::ALL order, got {:?}",
+            results.iter().map(|r| r.scheme).collect::<Vec<_>>()
+        );
+        Self { workload: workload.into(), config: config.into(), results }
+    }
+
     /// The no-protection baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the first result is not the
+    /// [`Scheme::NoProtection`] run (i.e. the [`Scheme::ALL`] order
+    /// documented on [`Evaluated::results`] was violated).
     pub fn np(&self) -> &RunResult {
-        &self.results[0]
+        let r = &self.results[0];
+        debug_assert_eq!(
+            r.scheme,
+            Scheme::NoProtection,
+            "results[0] must be the NP baseline (Scheme::ALL order)"
+        );
+        r
     }
 
     /// The run for `scheme`.
@@ -250,6 +282,38 @@ mod tests {
             results: vec![result(Scheme::NoProtection, 100), result(Scheme::Mgx, 120)],
         };
         assert_eq!(e.total_traffic().total_bytes(), 220);
+    }
+
+    fn stub(scheme: Scheme) -> RunResult {
+        RunResult {
+            scheme,
+            dram_cycles: 1,
+            exec_ns: 1.0,
+            traffic: MetaTraffic::default(),
+            dram: Default::default(),
+        }
+    }
+
+    #[test]
+    fn new_accepts_a_full_ordered_sweep() {
+        let e = Evaluated::new("w", "", Scheme::ALL.iter().map(|&s| stub(s)).collect());
+        assert_eq!(e.np().scheme, Scheme::NoProtection);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "Scheme::ALL order")]
+    fn new_rejects_a_reordered_sweep() {
+        let mut results: Vec<RunResult> = Scheme::ALL.iter().map(|&s| stub(s)).collect();
+        results.swap(0, 2); // MGX where the NP baseline belongs
+        Evaluated::new("w", "", results);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "partial sweep")]
+    fn new_rejects_a_partial_sweep() {
+        Evaluated::new("w", "", vec![stub(Scheme::NoProtection), stub(Scheme::Mgx)]);
     }
 
     #[test]

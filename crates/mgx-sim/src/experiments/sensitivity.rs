@@ -171,9 +171,10 @@ pub fn vn_scheme_comparison(scale: &Scale) -> Figure {
     let mut engine = SplitCounterEngine::new(&cfg.protection);
     let mut dram = mgx_dram::DramSim::new(cfg.dram);
     let mut now = 0u64;
+    // Same fractional-carry accel→DRAM conversion as the pipeline proper.
+    let mut carry = 0u64;
     for phase in &trace.phases {
-        let compute =
-            phase.compute_cycles as u128 * cfg.dram.freq_mhz as u128 / cfg.accel_freq_mhz as u128;
+        let compute = cfg.to_dram(phase.compute_cycles, &mut carry);
         let mut txns = Vec::new();
         for req in &phase.requests {
             engine.expand(req, &mut |t| txns.push(t));
@@ -185,7 +186,7 @@ pub fn vn_scheme_comparison(scale: &Scale) -> Figure {
         for t in txns.iter().filter(|t| !t.dir.is_read()) {
             done = done.max(dram.access(now, t.addr, t.dir));
         }
-        now += (compute as u64).max(done - now);
+        now += compute.max(done - now);
     }
     engine.flush(&mut |_| {});
     let t = engine.traffic();
@@ -207,14 +208,22 @@ pub fn vn_scheme_comparison(scale: &Scale) -> Figure {
 
 /// All ablations, for the figures binary.
 pub fn all(scale: &Scale) -> Vec<Figure> {
-    vec![
-        cache_sweep(scale),
-        granularity_sweep(scale),
-        arity_sweep(scale),
-        channel_sweep(scale),
-        dataflow_ablation(scale),
-        vn_scheme_comparison(scale),
-    ]
+    all_on(scale, 1)
+}
+
+/// [`all`] with the six independent sweeps fanned across `threads` pool
+/// workers (`0` = all cores). Figure order and contents are identical to
+/// the sequential run.
+pub fn all_on(scale: &Scale, threads: usize) -> Vec<Figure> {
+    let sweeps: Vec<fn(&Scale) -> Figure> = vec![
+        cache_sweep,
+        granularity_sweep,
+        arity_sweep,
+        channel_sweep,
+        dataflow_ablation,
+        vn_scheme_comparison,
+    ];
+    crate::parallel::map(threads, sweeps, |sweep| sweep(scale))
 }
 
 #[cfg(test)]

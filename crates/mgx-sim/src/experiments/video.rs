@@ -19,10 +19,18 @@ pub fn setup() -> SimConfig {
 
 /// Simulates an IBPB GOP decode under all schemes.
 pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
+    evaluate_on(scale, 1)
+}
+
+/// [`evaluate`] with `threads` workers (`0` = all cores). There is a single
+/// decode workload, so parallelism comes from fanning the five schemes
+/// inside the sweep ([`Simulation::parallel`]) rather than from the
+/// workload pool. Output is identical to the sequential run.
+pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
     let gop = GopStructure::ibpb(scale.video_frames);
     let src = stream_decode_trace(&gop, &DecoderConfig::default());
-    let results = Simulation::over(src).config(setup()).run_all();
-    vec![Evaluated { workload: "H.264-IBPB".into(), config: String::new(), results }]
+    let results = Simulation::over(src).config(setup()).parallel(threads).run_all();
+    vec![Evaluated::new("H.264-IBPB", String::new(), results)]
 }
 
 /// The H.264 overhead table (our addition; the paper reports functional

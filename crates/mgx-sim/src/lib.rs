@@ -13,11 +13,17 @@
 //! [`report::Figure`] whose rows can be printed ([`report::render`]) or
 //! checked programmatically (the `mgx-bench` crate's `figures` binary and
 //! the integration tests do both).
+//!
+//! Sweeps parallelize without changing a single result bit:
+//! [`Simulation::parallel`] fans one workload's five schemes across worker
+//! threads, and the [`parallel`] pool fans independent workloads across
+//! cores (the `figures` binary's `--threads` flag).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod scale;

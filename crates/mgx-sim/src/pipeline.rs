@@ -54,9 +54,23 @@ impl SimConfig {
         }
     }
 
-    /// Converts accelerator cycles to DRAM cycles without losing precision.
-    fn to_dram(&self, cycles: u64) -> u64 {
-        (cycles as u128 * self.dram.freq_mhz as u128 / self.accel_freq_mhz as u128) as u64
+    /// Converts accelerator cycles to DRAM cycles, carrying the fractional
+    /// remainder (in units of 1/`accel_freq_mhz` DRAM cycles) across calls.
+    ///
+    /// Flooring the conversion *per phase* silently drops up to one DRAM
+    /// cycle per phase — a million-phase stream would underestimate compute
+    /// time by ~a million cycles. Each [`SchemeRun`] owns one carry, so the
+    /// total over any phase stream is exact to the last cycle and streamed
+    /// simulation stays bit-identical to the collected one.
+    ///
+    /// `pub(crate)` so ad-hoc timing paths outside the pipeline (the
+    /// split-counter comparison in `experiments::sensitivity`) share the
+    /// exact conversion instead of re-deriving it.
+    pub(crate) fn to_dram(&self, cycles: u64, carry: &mut u64) -> u64 {
+        let denom = self.accel_freq_mhz as u128;
+        let num = cycles as u128 * self.dram.freq_mhz as u128 + *carry as u128;
+        *carry = (num % denom) as u64;
+        (num / denom) as u64
     }
 }
 
@@ -90,11 +104,18 @@ impl RunResult {
 }
 
 /// One scheme's in-flight state while phases stream through it.
-struct SchemeRun {
+///
+/// `pub(crate)` so the [`crate::parallel`] executor can construct one per
+/// worker thread and drive it with the exact same `step`/`finish` calls the
+/// sequential path makes — bit-identical results by construction.
+pub(crate) struct SchemeRun {
     scheme: Scheme,
     engine: Box<dyn mgx_core::ProtectionEngine>,
     dram: DramSim,
     mode: ModeState,
+    /// Fractional accel→DRAM cycle remainder carried across phases (see
+    /// [`SimConfig::to_dram`]).
+    carry: u64,
     /// Per-phase write staging (reused): reads issue the moment the engine
     /// emits them; writes drain after the phase's reads, which is what a
     /// real controller does to amortize bus turnarounds — fine-grained R/W
@@ -120,7 +141,7 @@ enum ModeState {
 }
 
 impl SchemeRun {
-    fn new(scheme: Scheme, regions: &RegionMap, cfg: &SimConfig) -> Self {
+    pub(crate) fn new(scheme: Scheme, regions: &RegionMap, cfg: &SimConfig) -> Self {
         let mode = match cfg.mode {
             PhaseMode::Overlapped => ModeState::Overlapped { now: 0 },
             PhaseMode::Serial { units } => {
@@ -132,6 +153,7 @@ impl SchemeRun {
             engine: scheme_engine(scheme, regions, &cfg.protection),
             dram: DramSim::new(cfg.dram),
             mode,
+            carry: 0,
             write_buf: Vec::new(),
         }
     }
@@ -159,8 +181,8 @@ impl SchemeRun {
     }
 
     /// Advances this scheme's clock(s) by one phase.
-    fn step(&mut self, phase: &Phase, cfg: &SimConfig) {
-        let compute = cfg.to_dram(phase.compute_cycles);
+    pub(crate) fn step(&mut self, phase: &Phase, cfg: &SimConfig) {
+        let compute = cfg.to_dram(phase.compute_cycles, &mut self.carry);
         // Pick the dispatch slot first (ends the mode borrow), then issue.
         let (start, unit) = match &mut self.mode {
             ModeState::Overlapped { now } => (*now, None),
@@ -187,7 +209,7 @@ impl SchemeRun {
     }
 
     /// Drains residual dirty metadata and closes the run.
-    fn finish(mut self, cfg: &SimConfig) -> RunResult {
+    pub(crate) fn finish(mut self, cfg: &SimConfig) -> RunResult {
         let end = match &self.mode {
             ModeState::Overlapped { now } => *now,
             ModeState::Serial { clocks, .. } => {
@@ -236,11 +258,14 @@ impl SchemeRun {
 /// trace length. `run_all` drives all five schemes' engines and DRAM
 /// models concurrently down the *same* single pass — each scheme's state
 /// is independent, so the results are bit-identical to five separate runs.
+/// Add [`Simulation::parallel`] to fan those schemes out across worker
+/// threads (still one pass over the source, still bit-identical).
 #[derive(Debug)]
 pub struct Simulation<S> {
     source: S,
     scheme: Scheme,
     cfg: SimConfig,
+    threads: usize,
 }
 
 impl<S: TraceSource> Simulation<S> {
@@ -248,7 +273,7 @@ impl<S: TraceSource> Simulation<S> {
     /// ([`SimConfig::default`]: Cloud DRAM, overlapped phases) and the
     /// [`Scheme::NoProtection`] baseline scheme.
     pub fn over(source: S) -> Self {
-        Self { source, scheme: Scheme::NoProtection, cfg: SimConfig::default() }
+        Self { source, scheme: Scheme::NoProtection, cfg: SimConfig::default(), threads: 1 }
     }
 
     /// Selects the protection scheme for [`Simulation::run`].
@@ -287,6 +312,20 @@ impl<S: TraceSource> Simulation<S> {
         self
     }
 
+    /// Fans [`Simulation::run_all`]'s five schemes out across up to
+    /// `n_threads` worker threads (`0` = one per available core).
+    ///
+    /// One producer — the calling thread — drives the source and broadcasts
+    /// each phase over bounded channels to the workers, each owning its own
+    /// engine and DRAM model, so results are **bit-identical** to the
+    /// sequential sweep and peak memory stays O(phases-in-flight). The
+    /// single-scheme [`Simulation::run`] has nothing to fan out and ignores
+    /// this knob.
+    pub fn parallel(mut self, n_threads: usize) -> Self {
+        self.threads = n_threads;
+        self
+    }
+
     /// Consumes the source under the selected scheme.
     pub fn run(self) -> RunResult {
         let (regions, phases) = self.source.into_stream();
@@ -299,8 +338,17 @@ impl<S: TraceSource> Simulation<S> {
 
     /// Consumes the source once, driving all five schemes concurrently;
     /// results come back in [`Scheme::ALL`] order (`NP` first).
+    ///
+    /// With [`Simulation::parallel`] set, the schemes run on worker threads
+    /// fed by a broadcast of the same single pass; otherwise they are
+    /// stepped in turn on the calling thread. Both paths produce identical
+    /// results.
     pub fn run_all(self) -> Vec<RunResult> {
         let (regions, phases) = self.source.into_stream();
+        let threads = crate::parallel::resolve_threads(self.threads);
+        if threads > 1 {
+            return crate::parallel::run_all_broadcast(&regions, phases, &self.cfg, threads);
+        }
         let mut runs: Vec<SchemeRun> =
             Scheme::ALL.iter().map(|&s| SchemeRun::new(s, &regions, &self.cfg)).collect();
         for phase in phases {
@@ -454,6 +502,82 @@ mod tests {
             assert_eq!(single.dram_cycles, expected.dram_cycles, "{scheme:?} diverged");
             assert_eq!(single.traffic, expected.traffic);
             assert_eq!(single.dram, expected.dram);
+        }
+    }
+
+    #[test]
+    fn fractional_compute_carries_across_phases() {
+        // 1 accel cycle @700 MHz = 12/7 DRAM cycles @1200 MHz: flooring per
+        // phase would count 1 cycle per phase (7000 total) instead of the
+        // exact 12000 — the long-stream drift this regression pins down.
+        let mut b = TraceBuilder::new();
+        b.regions_mut().alloc("buf", 1 << 20, DataClass::Feature);
+        for i in 0..7000u64 {
+            b.begin_phase(format!("p{i}"), 1); // odd cycle count on purpose
+        }
+        let trace = b.finish();
+        let r = Simulation::over(&trace).config(cfg()).run();
+        assert_eq!(r.dram_cycles, 12_000, "7000 × 12/7 must be exact, not floored per phase");
+    }
+
+    #[test]
+    fn fractional_carry_is_per_scheme_and_exact_in_serial_mode() {
+        // Serial mode converts compute through the same carry; the total
+        // on a single unit is the exact sum, not the per-phase floor sum.
+        let mut b = TraceBuilder::new();
+        b.regions_mut().alloc("buf", 1 << 20, DataClass::Feature);
+        for i in 0..700u64 {
+            b.begin_phase(format!("t{i}"), 3); // 3 × 1200/700 = 36/7 per phase
+        }
+        let trace = b.finish();
+        let serial = Simulation::over(&trace)
+            .config(SimConfig { mode: PhaseMode::Serial { units: 1 }, ..cfg() })
+            .run();
+        assert_eq!(serial.dram_cycles, 3_600, "700 × 36/7 must be exact");
+    }
+
+    #[test]
+    fn parallel_run_all_is_bit_identical() {
+        let trace = stream_trace(2, 25);
+        let serial = Simulation::over(&trace).config(cfg()).run_all();
+        for threads in [2usize, 3, 5, 8, 0] {
+            let par = Simulation::over(&trace).config(cfg()).parallel(threads).run_all();
+            assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!(p.scheme, s.scheme, "threads={threads}");
+                assert_eq!(p.dram_cycles, s.dram_cycles, "threads={threads} {:?}", p.scheme);
+                assert_eq!(p.traffic, s.traffic, "threads={threads}");
+                assert_eq!(p.dram, s.dram, "threads={threads}");
+                assert_eq!(p.exec_ns.to_bits(), s.exec_ns.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_all_accepts_generator_sources() {
+        // The phase iterator stays on the producer (calling) thread, so a
+        // non-trivial generator needs no `Send` bound to sweep in parallel.
+        const TILE: u64 = 64 << 10;
+        let mut regions = mgx_trace::RegionMap::new();
+        let r = regions.alloc("buf", 1 << 20, DataClass::Feature);
+        let base = regions.get(r).base;
+        let gen = |mut i: u64| {
+            let regions = regions.clone();
+            let phases = std::iter::from_fn(move || {
+                (i < (1 << 20) / TILE).then(|| {
+                    let mut p = mgx_trace::Phase::new(format!("p{i}"), 11);
+                    p.requests.push(MemRequest::read(r, base + i * TILE, TILE));
+                    i += 1;
+                    p
+                })
+            });
+            (regions, phases)
+        };
+        let serial = Simulation::over(gen(0)).config(cfg()).run_all();
+        let par = Simulation::over(gen(0)).config(cfg()).parallel(4).run_all();
+        for (p, s) in par.iter().zip(&serial) {
+            assert_eq!(p.dram_cycles, s.dram_cycles);
+            assert_eq!(p.traffic, s.traffic);
         }
     }
 

@@ -46,17 +46,20 @@ fn tile_stream() -> (RegionMap, impl Iterator<Item = Phase>) {
 fn main() {
     let gib = TOTAL_BYTES as f64 / (1u64 << 30) as f64;
     println!("streaming {gib:.0} GiB of tile traffic through the pipeline…");
-    println!("(each scheme consumes its own lazy stream; peak memory = one phase)\n");
+    println!("(one producer drives the lazy stream; each scheme runs on its own");
+    println!(" worker thread behind a bounded broadcast — peak memory = phases in flight)\n");
 
     let cfg = SimConfig::overlapped(4, 700);
+    // All five schemes in a single pass, fanned across the machine's cores.
+    // `.parallel(0)` = one worker per core; output bits match the serial
+    // sweep exactly, it just lands ~5× sooner on a big enough machine.
+    let start = std::time::Instant::now();
+    let results = Simulation::over(tile_stream()).config(cfg).parallel(0).run_all();
+    let wall = start.elapsed();
+    let np = results[0].clone();
     println!("{:<8} {:>12} {:>12} {:>10}", "scheme", "exec (ms)", "moved (GiB)", "exec×");
-    let np = Simulation::over(tile_stream()).config(cfg.clone()).run();
     for scheme in [Scheme::NoProtection, Scheme::Mgx, Scheme::Baseline] {
-        let r = if scheme == Scheme::NoProtection {
-            np.clone()
-        } else {
-            Simulation::over(tile_stream()).config(cfg.clone()).scheme(scheme).run()
-        };
+        let r = results.iter().find(|r| r.scheme == scheme).expect("swept");
         println!(
             "{:<8} {:>12.1} {:>12.2} {:>10.3}",
             scheme.label(),
@@ -65,6 +68,7 @@ fn main() {
             r.dram_cycles as f64 / np.dram_cycles as f64
         );
     }
-    println!("\nMGX keeps the multi-GiB stream within a few percent of no protection —");
+    println!("\nfive-scheme sweep took {:.1}s of wall clock", wall.as_secs_f64());
+    println!("MGX keeps the multi-GiB stream within a few percent of no protection —");
     println!("and the simulator never allocated the workload's phase vector to prove it.");
 }

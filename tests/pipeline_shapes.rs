@@ -20,11 +20,7 @@ use mgx_sim::experiments::{self, Evaluated};
 use proptest::prelude::*;
 
 fn eval(source: impl TraceSource, scfg: &SimConfig, name: &str) -> Evaluated {
-    Evaluated {
-        workload: name.into(),
-        config: "Cloud".into(),
-        results: Simulation::over(source).config(scfg.clone()).run_all(),
-    }
+    Evaluated::new(name, "Cloud", Simulation::over(source).config(scfg.clone()).run_all())
 }
 
 #[test]
@@ -182,6 +178,35 @@ fn spec_source(specs: Vec<PhaseSpec>) -> (RegionMap, impl Iterator<Item = Phase>
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance property of the parallel executor: for any workload,
+    /// phase mode, and worker count, the multi-threaded five-scheme sweep
+    /// is bit-identical — cycles, traffic breakdown, DRAM stats, even the
+    /// float bits of `exec_ns` — to the sequential pass.
+    #[test]
+    fn parallel_run_all_matches_sequential(
+        specs in proptest::collection::vec(
+            (0u64..200_000, proptest::collection::vec(
+                (0usize..3, 1u64..1_000_000, proptest::strategy::any::<bool>()), 1..4)),
+            1..24),
+        serial in proptest::strategy::any::<bool>(),
+        units in 1u64..4,
+        threads in 2usize..9,
+    ) {
+        let mode = if serial { PhaseMode::Serial { units } } else { PhaseMode::Overlapped };
+        let cfg = SimConfig { mode, ..SimConfig::overlapped(2, 700) };
+        let sequential = Simulation::over(spec_source(specs.clone())).config(cfg.clone()).run_all();
+        let parallel =
+            Simulation::over(spec_source(specs)).config(cfg).parallel(threads).run_all();
+        for (p, s) in parallel.iter().zip(&sequential) {
+            prop_assert_eq!(p.scheme, s.scheme);
+            prop_assert_eq!(p.dram_cycles, s.dram_cycles,
+                "cycles diverged for {} at {} threads", s.scheme, threads);
+            prop_assert_eq!(p.traffic, s.traffic, "traffic diverged for {}", s.scheme);
+            prop_assert_eq!(p.dram, s.dram, "DRAM stats diverged for {}", s.scheme);
+            prop_assert_eq!(p.exec_ns.to_bits(), s.exec_ns.to_bits());
+        }
+    }
 
     /// The acceptance property of the streaming redesign: for any workload
     /// and any phase mode, simulating the lazy stream is bit-identical —
