@@ -1,0 +1,108 @@
+//! Per-line vs burst hot-path throughput on the 64 KiB-tile streaming
+//! workload — the speedup demonstration for the burst transaction path
+//! (`ProtectionEngine::expand_bursts` → `DramSim::access_burst`).
+//!
+//! Results are **asserted bit-identical before any timing starts** (the
+//! same assert-before-timing pattern as `benches/parallel.rs`; the
+//! exhaustive property lives in `tests/pipeline_shapes.rs`). After the
+//! criterion groups run, a summary block prints simulated bytes/sec for
+//! both paths and the burst/per-line ratio — the number recorded in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use mgx_core::Scheme;
+use mgx_sim::{RunResult, SimConfig, Simulation, TxnPath};
+use mgx_trace::{DataClass, MemRequest, Trace, TraceBuilder};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Workload size: large enough that fixed costs vanish, small enough that
+/// the per-line reference stays interactive.
+const MIB: u64 = 64;
+const TILE: u64 = 64 << 10;
+
+/// The canonical streaming workload: 64 KiB double-buffered tiles, one
+/// write per four tiles (the same shape the pipeline tests use).
+fn stream_trace(mib: u64) -> Trace {
+    let mut b = TraceBuilder::new();
+    let r = b.regions_mut().alloc("buf", mib << 20, DataClass::Feature);
+    let base = b.regions().get(r).base;
+    for i in 0..(mib << 20) / TILE {
+        b.begin_unnamed_phase(0); // pure streaming: memory-bound
+        let addr = base + i * TILE;
+        if i % 4 == 0 {
+            b.push(MemRequest::write(r, addr, TILE));
+        } else {
+            b.push(MemRequest::read(r, addr, TILE));
+        }
+    }
+    b.finish()
+}
+
+fn run(trace: &Trace, scheme: Scheme, path: TxnPath) -> RunResult {
+    Simulation::over(trace)
+        .config(SimConfig::overlapped(4, 700))
+        .txn_path(path)
+        .scheme(scheme)
+        .run()
+}
+
+/// Equivalence gate: nothing is timed until every scheme's burst result
+/// matches its per-line twin bit for bit.
+fn assert_paths_equivalent(trace: &Trace) {
+    for scheme in Scheme::ALL {
+        let b = run(trace, scheme, TxnPath::Burst);
+        let l = run(trace, scheme, TxnPath::PerLine);
+        assert_eq!(b.dram_cycles, l.dram_cycles, "{scheme:?}: cycles diverged");
+        assert_eq!(b.traffic, l.traffic, "{scheme:?}: traffic diverged");
+        assert_eq!(b.dram, l.dram, "{scheme:?}: DRAM stats diverged");
+    }
+}
+
+fn hotpath(c: &mut Criterion) {
+    let trace = stream_trace(MIB);
+    assert_paths_equivalent(&trace);
+    let bytes = trace.traffic().total();
+    let mut g = c.benchmark_group("hotpath_64KiB_tiles");
+    g.throughput(Throughput::Bytes(bytes));
+    for scheme in [Scheme::NoProtection, Scheme::Mgx, Scheme::Baseline] {
+        g.bench_with_input(BenchmarkId::new("per_line", scheme.label()), &scheme, |b, &s| {
+            b.iter(|| black_box(run(&trace, s, TxnPath::PerLine).dram_cycles))
+        });
+        g.bench_with_input(BenchmarkId::new("burst", scheme.label()), &scheme, |b, &s| {
+            b.iter(|| black_box(run(&trace, s, TxnPath::Burst).dram_cycles))
+        });
+    }
+    g.finish();
+}
+
+/// Best-of-N wall-clock for one configuration, in simulated bytes/sec.
+fn bytes_per_sec(trace: &Trace, scheme: Scheme, path: TxnPath) -> f64 {
+    let bytes = trace.traffic().total() as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        black_box(run(trace, scheme, path).dram_cycles);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    bytes / best
+}
+
+/// The headline number: simulated bytes/sec per path and the ratio.
+fn ratio_report() {
+    let trace = stream_trace(MIB);
+    println!("\nhotpath summary ({MIB} MiB of 64 KiB tiles, data bytes/sec simulated):");
+    println!("{:<8} {:>14} {:>14} {:>8}", "scheme", "per-line B/s", "burst B/s", "ratio");
+    for scheme in [Scheme::NoProtection, Scheme::Mgx, Scheme::Baseline] {
+        let line = bytes_per_sec(&trace, scheme, TxnPath::PerLine);
+        let burst = bytes_per_sec(&trace, scheme, TxnPath::Burst);
+        println!("{:<8} {:>14.3e} {:>14.3e} {:>7.1}×", scheme.label(), line, burst, burst / line);
+    }
+}
+
+criterion_group!(benches, hotpath);
+
+fn main() {
+    benches();
+    ratio_report();
+}

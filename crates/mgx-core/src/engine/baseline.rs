@@ -19,7 +19,9 @@
 //!   cascade is bounded by the tree depth.
 
 use super::macside::CoarseMacTracker;
-use super::{emit_data, LineTxn, MetaTraffic, ProtectionEngine, TxnKind};
+use super::{
+    emit_data, emit_data_burst, LineBurst, LineTxn, MetaTraffic, ProtectionEngine, TxnKind,
+};
 use crate::layout::{BaselineLayout, MetaKind};
 use crate::policy::ProtectionConfig;
 use mgx_cache::{AccessKind, CacheConfig, CacheSim};
@@ -158,6 +160,21 @@ impl BaselineEngine {
         }
     }
 
+    /// The per-line cached VN (+ fine MAC) walk shared verbatim by
+    /// [`ProtectionEngine::expand`] and
+    /// [`ProtectionEngine::expand_bursts`].
+    fn cached_meta_walk(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineTxn)) {
+        let first = req.addr / LINE_BYTES;
+        let last = (req.end() - 1) / LINE_BYTES;
+        for line in first..=last {
+            let addr = line * LINE_BYTES;
+            self.vn_access(addr, req.dir, emit);
+            if matches!(self.mac, MacMode::FineCached) {
+                self.mac_access_cached(addr, req.dir, emit);
+            }
+        }
+    }
+
     fn mac_access_cached(&mut self, data_line: u64, dir: Dir, emit: &mut dyn FnMut(LineTxn)) {
         let kind = match dir {
             Dir::Read => AccessKind::Read,
@@ -181,18 +198,25 @@ impl ProtectionEngine for BaselineEngine {
 
     fn expand(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineTxn)) {
         emit_data(req, &mut self.traffic, emit);
-        let first = req.addr / LINE_BYTES;
-        let last = (req.end() - 1) / LINE_BYTES;
-        for line in first..=last {
-            let addr = line * LINE_BYTES;
-            self.vn_access(addr, req.dir, emit);
-            if matches!(self.mac, MacMode::FineCached) {
-                self.mac_access_cached(addr, req.dir, emit);
-            }
-        }
+        self.cached_meta_walk(req, emit);
         if let MacMode::Coarse(tracker) = &mut self.mac {
             let mut traffic = self.traffic;
             tracker.expand(req, &mut traffic, emit);
+            self.traffic = traffic;
+        }
+    }
+
+    fn expand_bursts(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineBurst)) {
+        // The data lines stream as one burst; the cached metadata walk is
+        // inherently per-line (every line consults the LRU cache and can
+        // trigger fills/writebacks in between), so it stays the *same*
+        // scalar walk, each transaction riding as a 1-line burst in
+        // exactly the order `expand` produces.
+        emit_data_burst(req, &mut self.traffic, emit);
+        self.cached_meta_walk(req, &mut |t| emit(t.into()));
+        if let MacMode::Coarse(tracker) = &mut self.mac {
+            let mut traffic = self.traffic;
+            tracker.expand_bursts(req, &mut traffic, emit);
             self.traffic = traffic;
         }
     }

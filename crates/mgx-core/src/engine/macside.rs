@@ -6,7 +6,7 @@
 //! line once. The trackers below reproduce exactly that behaviour by
 //! remembering the last MAC line touched per region and direction.
 
-use super::{LineTxn, MetaTraffic, TxnKind};
+use super::{LineBurst, LineTxn, MetaTraffic, TxnKind};
 use crate::layout::{self, BaselineLayout};
 use crate::policy::MacGranularity;
 use mgx_trace::{Dir, MemRequest, LINE_BYTES};
@@ -33,6 +33,25 @@ impl Coalescer {
             self.last[region] = Some((line, dir));
             true
         }
+    }
+
+    /// Admits a contiguous run of MAC lines `first..=last` at once,
+    /// returning the `(start, lines)` actually admitted (`None` if the run
+    /// collapses entirely).
+    ///
+    /// Equivalent to calling [`Coalescer::admit`] per line in ascending
+    /// order: within one run only the *first* line can match the
+    /// remembered state (lines strictly ascend afterwards), and the final
+    /// remembered state is the run's last line either way.
+    fn admit_run(&mut self, region: usize, first: u64, last: u64, dir: Dir) -> Option<(u64, u64)> {
+        self.ensure(region);
+        let start =
+            if self.last[region] == Some((first, dir)) { first + LINE_BYTES } else { first };
+        if start > last {
+            return None;
+        }
+        self.last[region] = Some((last, dir));
+        Some((start, (last - start) / LINE_BYTES + 1))
     }
 }
 
@@ -66,6 +85,25 @@ impl FineMacTracker {
                 emit(txn);
             }
             line += LINE_BYTES;
+        }
+    }
+
+    /// Batched twin of [`FineMacTracker::expand`]: the request's MAC lines
+    /// form one contiguous run, emitted as a single burst.
+    pub(crate) fn expand_bursts(
+        &mut self,
+        req: &MemRequest,
+        traffic: &mut MetaTraffic,
+        emit: &mut dyn FnMut(LineBurst),
+    ) {
+        let first = self.layout.mac_fine_line_of(req.addr);
+        let last = self.layout.mac_fine_line_of(req.end() - 1);
+        if let Some((start, lines)) =
+            self.coalescer.admit_run(req.region.0 as usize, first, last, req.dir)
+        {
+            let burst = LineBurst { addr: start, lines, dir: req.dir, kind: TxnKind::Mac };
+            traffic.record_burst(&burst);
+            emit(burst);
         }
     }
 }
@@ -124,6 +162,40 @@ impl CoarseMacTracker {
                 self.tile_count[region] += 1;
                 let line = layout::mac_coarse_line(req.region, idx);
                 self.emit_line(region, line, req.dir, traffic, emit);
+            }
+        }
+    }
+
+    /// Batched twin of [`CoarseMacTracker::expand`]: the covering MAC
+    /// lines of a coarse-granularity request are contiguous, so they go
+    /// out as one burst ([`MacGranularity::PerRequest`] touches exactly
+    /// one line and stays a 1-line burst).
+    pub(crate) fn expand_bursts(
+        &mut self,
+        req: &MemRequest,
+        traffic: &mut MetaTraffic,
+        emit: &mut dyn FnMut(LineBurst),
+    ) {
+        let region = req.region.0 as usize;
+        let gran = self.granularity.get(region).copied().unwrap_or(MacGranularity::COARSE);
+        match gran {
+            MacGranularity::Bytes(g) => {
+                let first_block = req.addr / g;
+                let last_block = (req.end() - 1) / g;
+                let first = layout::mac_coarse_line(req.region, first_block);
+                let last = layout::mac_coarse_line(req.region, last_block);
+                if let Some((start, lines)) = self.coalescer.admit_run(region, first, last, req.dir)
+                {
+                    let burst = LineBurst { addr: start, lines, dir: req.dir, kind: TxnKind::Mac };
+                    traffic.record_burst(&burst);
+                    emit(burst);
+                }
+            }
+            MacGranularity::PerRequest => {
+                let idx = self.tile_count[region];
+                self.tile_count[region] += 1;
+                let line = layout::mac_coarse_line(req.region, idx);
+                self.emit_line(region, line, req.dir, traffic, &mut |t| emit(t.into()));
             }
         }
     }

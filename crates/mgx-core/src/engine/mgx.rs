@@ -7,7 +7,7 @@
 //! coalesced by the streaming access pattern.
 
 use super::macside::{CoarseMacTracker, FineMacTracker};
-use super::{emit_data, LineTxn, MetaTraffic, ProtectionEngine};
+use super::{emit_data, emit_data_burst, LineBurst, LineTxn, MetaTraffic, ProtectionEngine};
 use crate::policy::ProtectionConfig;
 use mgx_trace::{MemRequest, RegionMap};
 
@@ -55,6 +55,14 @@ impl ProtectionEngine for MgxEngine {
         match &mut self.mac {
             MacSide::Fine(t) => t.expand(req, &mut self.traffic, emit),
             MacSide::Coarse(t) => t.expand(req, &mut self.traffic, emit),
+        }
+    }
+
+    fn expand_bursts(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineBurst)) {
+        emit_data_burst(req, &mut self.traffic, emit);
+        match &mut self.mac {
+            MacSide::Fine(t) => t.expand_bursts(req, &mut self.traffic, emit),
+            MacSide::Coarse(t) => t.expand_bursts(req, &mut self.traffic, emit),
         }
     }
 

@@ -47,6 +47,54 @@ pub struct LineTxn {
     pub kind: TxnKind,
 }
 
+/// A run of contiguous 64-byte line transactions: `lines` back-to-back
+/// lines starting at `addr`, all in the same direction and of the same
+/// kind.
+///
+/// This is the batched currency of the hot path. Data-intensive
+/// accelerators issue large streaming requests (the very property MGX
+/// exploits, paper §III-B), so one coarse [`MemRequest`] expands into a
+/// handful of bursts instead of thousands of per-line closure calls; the
+/// DRAM model services a burst with closed-form row-streak arithmetic
+/// (`mgx_dram::DramSim::access_burst`). A burst is *semantically
+/// identical* to issuing its lines one by one in ascending address order —
+/// every consumer must preserve that equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineBurst {
+    /// Line-aligned start address.
+    pub addr: u64,
+    /// Number of consecutive 64-byte lines (> 0).
+    pub lines: u64,
+    /// Direction (shared by every line of the run).
+    pub dir: Dir,
+    /// Payload classification (shared by every line of the run).
+    pub kind: TxnKind,
+}
+
+impl LineBurst {
+    /// Total bytes moved by the burst.
+    pub fn bytes(&self) -> u64 {
+        self.lines * LINE_BYTES
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.addr + self.bytes()
+    }
+
+    /// The per-line transactions the burst stands for, in issue order.
+    pub fn iter_lines(&self) -> impl Iterator<Item = LineTxn> + '_ {
+        let (addr, dir, kind) = (self.addr, self.dir, self.kind);
+        (0..self.lines).map(move |i| LineTxn { addr: addr + i * LINE_BYTES, dir, kind })
+    }
+}
+
+impl From<LineTxn> for LineBurst {
+    fn from(t: LineTxn) -> Self {
+        LineBurst { addr: t.addr, lines: 1, dir: t.dir, kind: t.kind }
+    }
+}
+
 /// Byte counters per transaction kind (the paper's Fig 3 breakdown).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetaTraffic {
@@ -63,13 +111,22 @@ pub struct MetaTraffic {
 impl MetaTraffic {
     /// Records one line transaction.
     pub fn record(&mut self, txn: &LineTxn) {
-        let t = match txn.kind {
+        self.bulk(txn.kind, txn.dir, 1);
+    }
+
+    /// Records a whole burst in one counter update (no per-line loop).
+    pub fn record_burst(&mut self, burst: &LineBurst) {
+        self.bulk(burst.kind, burst.dir, burst.lines);
+    }
+
+    fn bulk(&mut self, kind: TxnKind, dir: Dir, lines: u64) {
+        let t = match kind {
             TxnKind::Data => &mut self.data,
             TxnKind::Vn => &mut self.vn,
             TxnKind::Tree => &mut self.tree,
             TxnKind::Mac => &mut self.mac,
         };
-        t.add(txn.dir, LINE_BYTES);
+        t.add(dir, lines * LINE_BYTES);
     }
 
     /// Total bytes moved, all kinds.
@@ -153,6 +210,24 @@ pub trait ProtectionEngine {
     /// Expands `req` into line transactions, in issue order.
     fn expand(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineTxn));
 
+    /// Expands `req` into contiguous line *bursts*, in issue order — the
+    /// batched hot path.
+    ///
+    /// The flattened burst stream (each burst replaced by its lines in
+    /// ascending order) must be **identical** to what [`expand`] emits for
+    /// the same request history, including all engine-internal state
+    /// transitions — the pipeline relies on this to keep burst-mode
+    /// simulation bit-identical to the per-line reference path. The
+    /// default implementation trivially satisfies the contract by
+    /// degrading to per-line [`expand`] with 1-line bursts, so engines can
+    /// migrate incrementally; every shipped engine overrides it to emit
+    /// real runs.
+    ///
+    /// [`expand`]: ProtectionEngine::expand
+    fn expand_bursts(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineBurst)) {
+        self.expand(req, &mut |t| emit(t.into()));
+    }
+
     /// Flushes residual dirty metadata (end of run) as write transactions.
     fn flush(&mut self, emit: &mut dyn FnMut(LineTxn));
 
@@ -227,6 +302,25 @@ pub(crate) fn emit_data(
         traffic.record(&txn);
         emit(txn);
     }
+}
+
+/// Emits the data lines of a request as one contiguous burst and counts
+/// them in a single counter update — the batched twin of [`emit_data`].
+pub(crate) fn emit_data_burst(
+    req: &MemRequest,
+    traffic: &mut MetaTraffic,
+    emit: &mut dyn FnMut(LineBurst),
+) {
+    let first = req.addr / LINE_BYTES;
+    let last = (req.end() - 1) / LINE_BYTES;
+    let burst = LineBurst {
+        addr: first * LINE_BYTES,
+        lines: last - first + 1,
+        dir: req.dir,
+        kind: TxnKind::Data,
+    };
+    traffic.record_burst(&burst);
+    emit(burst);
 }
 
 #[cfg(test)]
@@ -323,6 +417,54 @@ mod proptests {
                     "{}: data lines must match the request stream", scheme.label()
                 );
                 prop_assert_eq!(engine.traffic().data.total(), expected_lines * 64);
+            }
+        }
+
+        /// The burst hot path is the per-line path, batched: for every
+        /// scheme and any request history, flattening the emitted bursts
+        /// back into lines reproduces `expand`'s transaction stream
+        /// exactly (same order, same addresses, same kinds), and the
+        /// traffic counters agree to the byte. This is the contract the
+        /// pipeline's bit-identity rests on.
+        #[test]
+        fn burst_expansion_flattens_to_per_line(reqs in arb_requests()) {
+            let mut regions = RegionMap::new();
+            // Two regions so both `CoarseMacTracker` regimes are hit:
+            // Feature → Bytes(512) runs, Adjacency → PerRequest MACs.
+            let feat = regions.alloc("buf", 1 << 24, DataClass::Feature);
+            let adj = regions.alloc("adj", 1 << 24, DataClass::Adjacency);
+            let cfg = ProtectionConfig::default();
+            for scheme in Scheme::ALL {
+                let mut per_line = scheme_engine(scheme, &regions, &cfg);
+                let mut batched = scheme_engine(scheme, &regions, &cfg);
+                for (i, &(addr, len, write)) in reqs.iter().enumerate() {
+                    let r = if i % 3 == 2 { adj } else { feat };
+                    let base = regions.get(r).base;
+                    let req = if write {
+                        MemRequest::write(r, base + addr, len as u64)
+                    } else {
+                        MemRequest::read(r, base + addr, len as u64)
+                    };
+                    let mut scalar = Vec::new();
+                    per_line.expand(&req, &mut |t| scalar.push(t));
+                    let mut bursts = Vec::new();
+                    batched.expand_bursts(&req, &mut |b| bursts.push(b));
+                    for b in &bursts {
+                        prop_assert!(b.lines > 0, "{}: empty burst", scheme.label());
+                    }
+                    let flattened: Vec<LineTxn> =
+                        bursts.iter().flat_map(LineBurst::iter_lines).collect();
+                    prop_assert_eq!(
+                        &flattened, &scalar,
+                        "{}: burst stream diverged from per-line stream", scheme.label()
+                    );
+                    prop_assert_eq!(per_line.traffic(), batched.traffic());
+                }
+                let mut f1 = Vec::new();
+                per_line.flush(&mut |t| f1.push(t));
+                let mut f2 = Vec::new();
+                batched.flush(&mut |t| f2.push(t));
+                prop_assert_eq!(f1, f2, "{}: flush diverged", scheme.label());
             }
         }
 

@@ -1,6 +1,6 @@
 //! The no-protection engine (normalization baseline).
 
-use super::{emit_data, LineTxn, MetaTraffic, ProtectionEngine};
+use super::{emit_data, emit_data_burst, LineBurst, LineTxn, MetaTraffic, ProtectionEngine};
 use mgx_trace::MemRequest;
 
 /// Emits only the data lines — no metadata at all.
@@ -23,6 +23,10 @@ impl ProtectionEngine for NoProtection {
 
     fn expand(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineTxn)) {
         emit_data(req, &mut self.traffic, emit);
+    }
+
+    fn expand_bursts(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineBurst)) {
+        emit_data_burst(req, &mut self.traffic, emit);
     }
 
     fn flush(&mut self, _emit: &mut dyn FnMut(LineTxn)) {}

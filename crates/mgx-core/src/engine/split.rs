@@ -12,7 +12,9 @@
 //! `vn-scheme` ablation — its advantage (zero VN traffic, no tree at all)
 //! survives.
 
-use super::{emit_data, LineTxn, MetaTraffic, ProtectionEngine, TxnKind};
+use super::{
+    emit_data, emit_data_burst, LineBurst, LineTxn, MetaTraffic, ProtectionEngine, TxnKind,
+};
 use crate::layout::{BaselineLayout, MetaKind};
 use crate::policy::ProtectionConfig;
 use mgx_cache::{AccessKind, CacheConfig, CacheSim};
@@ -115,6 +117,27 @@ impl SplitCounterEngine {
         }
     }
 
+    /// The per-line SC metadata walk (VN, fine cached MAC, minor-counter
+    /// bump) shared verbatim by `expand` and `expand_bursts`.
+    fn cached_meta_walk(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineTxn)) {
+        let first = req.addr / LINE_BYTES;
+        let last = (req.end() - 1) / LINE_BYTES;
+        for line in first..=last {
+            let addr = line * LINE_BYTES;
+            self.vn_access(addr, req.dir, emit);
+            // Fine cached MAC, as in the MEE baseline.
+            let mac_line = self.layout.mac_fine_line_of(addr);
+            let kind = match req.dir {
+                Dir::Read => AccessKind::Read,
+                Dir::Write => AccessKind::Write,
+            };
+            self.meta_access(mac_line, kind, emit);
+            if req.dir == Dir::Write {
+                self.bump_minor(addr, emit);
+            }
+        }
+    }
+
     /// Bumps a minor counter, emitting the 4 KB re-encryption storm on
     /// overflow.
     fn bump_minor(&mut self, data_line: u64, emit: &mut dyn FnMut(LineTxn)) {
@@ -148,22 +171,16 @@ impl ProtectionEngine for SplitCounterEngine {
 
     fn expand(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineTxn)) {
         emit_data(req, &mut self.traffic, emit);
-        let first = req.addr / LINE_BYTES;
-        let last = (req.end() - 1) / LINE_BYTES;
-        for line in first..=last {
-            let addr = line * LINE_BYTES;
-            self.vn_access(addr, req.dir, emit);
-            // Fine cached MAC, as in the MEE baseline.
-            let mac_line = self.layout.mac_fine_line_of(addr);
-            let kind = match req.dir {
-                Dir::Read => AccessKind::Read,
-                Dir::Write => AccessKind::Write,
-            };
-            self.meta_access(mac_line, kind, emit);
-            if req.dir == Dir::Write {
-                self.bump_minor(addr, emit);
-            }
-        }
+        self.cached_meta_walk(req, emit);
+    }
+
+    fn expand_bursts(&mut self, req: &MemRequest, emit: &mut dyn FnMut(LineBurst)) {
+        // Data streams as one burst; the cached SC metadata walk (and the
+        // occasional re-encryption storm) is per-line state machinery, so
+        // it stays the *same* scalar walk, riding as 1-line bursts in
+        // `expand`'s exact order.
+        emit_data_burst(req, &mut self.traffic, emit);
+        self.cached_meta_walk(req, &mut |t| emit(t.into()));
     }
 
     fn flush(&mut self, emit: &mut dyn FnMut(LineTxn)) {
@@ -221,6 +238,31 @@ mod tests {
         // The re-encryption moved the whole 4 KB group both ways.
         assert!(sc.traffic().vn.read_bytes >= LINES_PER_SC_LINE * 64);
         assert!(sc.traffic().vn.write_bytes >= LINES_PER_SC_LINE * 64);
+    }
+
+    #[test]
+    fn burst_expansion_matches_per_line_including_overflow_storms() {
+        let cfg = ProtectionConfig::default();
+        let mut scalar = SplitCounterEngine::new(&cfg);
+        let mut batched = SplitCounterEngine::new(&cfg);
+        // Enough same-line writes to trip a minor overflow mid-stream,
+        // interleaved with reads that exercise the cached VN/MAC walks.
+        for i in 0..(MINOR_LIMIT as u64 + 40) {
+            let reqs = [
+                MemRequest::write(RegionId(0), 0, 64),
+                MemRequest::read(RegionId(0), (i % 7) * 4096, 2048),
+            ];
+            for req in reqs {
+                let mut a = Vec::new();
+                scalar.expand(&req, &mut |t| a.push(t));
+                let mut b = Vec::new();
+                batched.expand_bursts(&req, &mut |burst| b.extend(burst.iter_lines()));
+                assert_eq!(a, b, "burst stream diverged at step {i}");
+            }
+        }
+        assert!(scalar.overflows > 0, "the stream must trip an overflow");
+        assert_eq!(scalar.overflows, batched.overflows);
+        assert_eq!(scalar.traffic(), batched.traffic());
     }
 
     #[test]

@@ -41,5 +41,7 @@ pub mod session;
 pub mod vn;
 
 pub use counter::{CounterBlock, StreamTag};
-pub use engine::{scheme_engine, LineTxn, MetaTraffic, ProtectionEngine, Scheme, TxnKind};
+pub use engine::{
+    scheme_engine, LineBurst, LineTxn, MetaTraffic, ProtectionEngine, Scheme, TxnKind,
+};
 pub use policy::{MacGranularity, ProtectionConfig};

@@ -128,7 +128,6 @@ impl Lowering {
                 let g = c.to_gemm(batch);
                 emit_gemm(
                     sink,
-                    &op.name,
                     &g,
                     &self.cfg,
                     self.dataflow,
@@ -146,7 +145,6 @@ impl Lowering {
                 let g = Gemm { m: batch * self.tokens, k: c_in, n: c_out };
                 emit_gemm(
                     sink,
-                    &op.name,
                     &g,
                     &self.cfg,
                     self.dataflow,
@@ -167,7 +165,6 @@ impl Lowering {
                 let c_bytes = count * m * n * dt;
                 emit_chunked(
                     sink,
-                    &op.name,
                     count * per.compute_cycles,
                     &[(input, a_bytes), (input, b_bytes)],
                     &[(plan.out, c_bytes)],
@@ -185,7 +182,6 @@ impl Lowering {
                 );
                 emit_chunked(
                     sink,
-                    &op.name,
                     c.c_in * per.compute_cycles,
                     &[(input, batch * c.in_elems() * dt), (w, w.bytes)],
                     &[(plan.out, batch * c.out_elems() * dt)],
@@ -195,7 +191,6 @@ impl Lowering {
                 let cycles = (batch * in_elems).div_ceil(self.cfg.rows);
                 emit_chunked(
                     sink,
-                    &op.name,
                     cycles,
                     &[(input, batch * in_elems * dt)],
                     &[(plan.out, batch * out_elems * dt)],
@@ -206,7 +201,6 @@ impl Lowering {
                 let cycles = (batch * elems).div_ceil(self.cfg.rows);
                 emit_chunked(
                     sink,
-                    &op.name,
                     cycles,
                     &[(input, batch * elems * dt), (other, batch * elems * dt)],
                     &[(plan.out, batch * elems * dt)],
@@ -312,7 +306,6 @@ impl Lowering {
                 if let Some(gx) = gx {
                     emit_chunked(
                         sink,
-                        &format!("{}.dx", op.name),
                         dx_cost.compute_cycles,
                         &[(gy, gy_bytes), (w, w.bytes)],
                         &[(gx, batch * c.in_elems() * dt)],
@@ -323,7 +316,6 @@ impl Lowering {
                     gemm_cost(&Gemm { m: g.k, k: g.m, n: g.n }, &self.cfg, self.dataflow, None);
                 emit_chunked(
                     sink,
-                    &format!("{}.dw", op.name),
                     dw_cost.compute_cycles,
                     &[(x, batch * c.in_elems() * dt), (gy, gy_bytes)],
                     &[(plan.gw[i].expect("conv gw"), op.weight_elems() * dt)],
@@ -338,7 +330,6 @@ impl Lowering {
                 if let Some(gx) = gx {
                     emit_chunked(
                         sink,
-                        &format!("{}.dx", op.name),
                         dx_cost.compute_cycles,
                         &[(gy, gy_bytes), (w, w.bytes)],
                         &[(gx, rows * c_in * dt)],
@@ -348,7 +339,6 @@ impl Lowering {
                     gemm_cost(&Gemm { m: c_in, k: rows, n: c_out }, &self.cfg, self.dataflow, None);
                 emit_chunked(
                     sink,
-                    &format!("{}.dw", op.name),
                     dw_cost.compute_cycles,
                     &[(x, rows * c_in * dt), (gy, gy_bytes)],
                     &[(plan.gw[i].expect("dense gw"), op.weight_elems() * dt)],
@@ -361,7 +351,6 @@ impl Lowering {
                 if let Some(gx) = gx {
                     emit_chunked(
                         sink,
-                        &format!("{}.bwd", op.name),
                         2 * count * per.compute_cycles,
                         &[(gy, gy_bytes), (x, count * m * k * dt), (x, count * k * n * dt)],
                         &[(gx, count * m * k * dt), (gx, count * k * n * dt)],
@@ -380,7 +369,6 @@ impl Lowering {
                 if let Some(gx) = gx {
                     emit_chunked(
                         sink,
-                        &format!("{}.dx", op.name),
                         c.c_in * per.compute_cycles,
                         &[(gy, gy_bytes), (w, w.bytes)],
                         &[(gx, batch * c.in_elems() * dt)],
@@ -388,7 +376,6 @@ impl Lowering {
                 }
                 emit_chunked(
                     sink,
-                    &format!("{}.dw", op.name),
                     c.c_in * per.compute_cycles,
                     &[(x, batch * c.in_elems() * dt), (gy, gy_bytes)],
                     &[(plan.gw[i].expect("depthwise gw"), op.weight_elems() * dt)],
@@ -399,7 +386,6 @@ impl Lowering {
                     let cycles = (batch * out_elems).div_ceil(self.cfg.rows);
                     emit_chunked(
                         sink,
-                        &format!("{}.bwd", op.name),
                         cycles,
                         &[(gy, batch * out_elems * dt)],
                         &[(gx, batch * in_elems * dt)],
@@ -417,7 +403,7 @@ impl Lowering {
                 if let InputRef::Op(j) = extra {
                     writes.push((plan.grads[j], bytes));
                 }
-                emit_chunked(sink, &format!("{}.bwd", op.name), cycles, &[(gy, bytes)], &writes);
+                emit_chunked(sink, cycles, &[(gy, bytes)], &writes);
             }
             OpKind::Embedding { .. } => {
                 // DLRM is inference-only in the paper's evaluation.
@@ -470,10 +456,10 @@ fn in_elems_per_sample(op: &Op, tokens: u64) -> u64 {
 /// Emits a multi-phase chunked transfer: `cycles` of compute split over
 /// enough phases that each moves at most ~1 MiB, with reads/writes divided
 /// proportionally. Used for streaming ops and backward GEMMs where
-/// fold-exact phasing adds nothing.
+/// fold-exact phasing adds nothing. Chunk phases are unnamed — they are
+/// the bulk of a training trace and their labels were never read.
 fn emit_chunked(
     sink: &mut impl PhaseSink,
-    label: &str,
     cycles: u64,
     reads: &[(Tensor, u64)],
     writes: &[(Tensor, u64)],
@@ -487,7 +473,7 @@ fn emit_chunked(
         (off, len)
     };
     for p in 0..phases {
-        sink.begin_phase(format!("{label}[{p}]"), cycles / phases);
+        sink.begin_unnamed_phase(cycles / phases);
         for &(t, bytes) in reads {
             let (off, len) = slice(bytes.min(t.bytes), p);
             if len > 0 {
@@ -737,7 +723,7 @@ mod tests {
         for (s, e) in phases.zip(&collected.phases) {
             assert_eq!(s.label, e.label);
             assert_eq!(s.compute_cycles, e.compute_cycles);
-            assert_eq!(s.requests, e.requests, "phase {} diverged", s.label);
+            assert_eq!(s.requests, e.requests, "phase {count} ({}) diverged", s.label());
             count += 1;
         }
         assert_eq!(count, collected.phases.len());

@@ -32,7 +32,6 @@
 #![warn(missing_docs)]
 
 use mgx_trace::{Dir, LINE_BYTES};
-use std::collections::VecDeque;
 
 /// DDR4 device and channel-topology parameters.
 ///
@@ -146,11 +145,39 @@ struct Bank {
     ready_pre: u64,
 }
 
+/// The last four ACT timestamps on a rank — all tFAW ever needs — in a
+/// fixed four-slot ring. Replacing the former `VecDeque<u64>` kills a heap
+/// structure (and its push/pop bookkeeping) on the hot path.
+#[derive(Debug, Clone, Copy, Default)]
+struct ActWindow {
+    acts: [u64; 4],
+    /// Index of the oldest retained ACT once the ring is full; the next
+    /// write position always.
+    head: u8,
+    len: u8,
+}
+
+impl ActWindow {
+    /// The fourth-most-recent ACT, once four have been recorded.
+    fn fourth_last(&self) -> Option<u64> {
+        (self.len == 4).then(|| self.acts[self.head as usize])
+    }
+
+    /// Records an ACT, evicting the oldest slot.
+    fn record(&mut self, at: u64) {
+        self.acts[self.head as usize] = at;
+        self.head = (self.head + 1) & 3;
+        if self.len < 4 {
+            self.len += 1;
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct Rank {
     banks: Vec<Bank>,
-    /// Timestamps of recent ACT commands (for tFAW); at most 4 retained.
-    recent_acts: VecDeque<u64>,
+    /// Timestamps of the last four ACT commands (for tFAW).
+    recent_acts: ActWindow,
     last_act: Option<u64>,
 }
 
@@ -204,12 +231,64 @@ impl DramStats {
     }
 }
 
+/// Shift/mask pairs for [`DramSim::decode`], precomputed once in
+/// [`DramSim::new`]: channels, lines-per-row, banks, and ranks are powers
+/// of two in every shipped configuration, so the per-line address decode
+/// needs no integer division on the hot path. Configurations with a
+/// non-power-of-two dimension simply skip the precomputation and keep the
+/// division-based decode.
+#[derive(Debug, Clone, Copy)]
+struct DecodeShifts {
+    ch_sh: u32,
+    ch_mask: u64,
+    lpr_sh: u32,
+    bank_sh: u32,
+    bank_mask: u64,
+    rank_sh: u32,
+    rank_mask: u64,
+}
+
+impl DecodeShifts {
+    fn build(cfg: &DramConfig) -> Option<Self> {
+        let dims = [
+            cfg.channels as u64,
+            cfg.lines_per_row(),
+            cfg.banks_per_rank as u64,
+            cfg.ranks_per_channel as u64,
+        ];
+        if dims.iter().any(|&d| d == 0 || !d.is_power_of_two()) {
+            return None;
+        }
+        Some(Self {
+            ch_sh: dims[0].trailing_zeros(),
+            ch_mask: dims[0] - 1,
+            lpr_sh: dims[1].trailing_zeros(),
+            bank_sh: dims[2].trailing_zeros(),
+            bank_mask: dims[2] - 1,
+            rank_sh: dims[3].trailing_zeros(),
+            rank_mask: dims[3] - 1,
+        })
+    }
+}
+
+/// XOR-fold of the row bits used to hash the bank index (see
+/// [`DramSim::decode`]).
+fn fold_row(row: u64) -> u64 {
+    let mut fold = row;
+    fold ^= fold >> 4;
+    fold ^= fold >> 8;
+    fold ^= fold >> 16;
+    fold ^= fold >> 32;
+    fold
+}
+
 /// The DDR4 timing simulator. One instance owns all channels.
 #[derive(Debug, Clone)]
 pub struct DramSim {
     cfg: DramConfig,
     channels: Vec<Channel>,
     stats: DramStats,
+    shifts: Option<DecodeShifts>,
 }
 
 impl DramSim {
@@ -227,7 +306,7 @@ impl DramSim {
                 ..Channel::default()
             })
             .collect();
-        Self { cfg, channels, stats: DramStats::default() }
+        Self { shifts: DecodeShifts::build(&cfg), cfg, channels, stats: DramStats::default() }
     }
 
     /// The configuration in use.
@@ -250,6 +329,26 @@ impl DramSim {
     /// metadata/data streams that advance in lockstep cannot resonate on
     /// one bank.
     pub fn decode(&self, addr: u64) -> Loc {
+        match self.shifts {
+            Some(s) => {
+                let line = addr / LINE_BYTES;
+                let channel = (line & s.ch_mask) as usize;
+                let rest = (line >> s.ch_sh) >> s.lpr_sh; // drop column bits
+                let bank_field = rest & s.bank_mask;
+                let rest = rest >> s.bank_sh;
+                let rank = (rest & s.rank_mask) as usize;
+                let row = rest >> s.rank_sh;
+                let bank = ((bank_field ^ fold_row(row)) & s.bank_mask) as usize;
+                Loc { channel, rank, bank, row }
+            }
+            None => self.decode_by_division(addr),
+        }
+    }
+
+    /// The division-based decode formula — the reference the shift/mask
+    /// fast path is property-tested against, and the fallback for
+    /// non-power-of-two configurations.
+    fn decode_by_division(&self, addr: u64) -> Loc {
         let line = addr / LINE_BYTES;
         let channel = (line % self.cfg.channels as u64) as usize;
         let rest = line / self.cfg.channels as u64;
@@ -258,12 +357,7 @@ impl DramSim {
         let rest = rest / self.cfg.banks_per_rank as u64;
         let rank = (rest % self.cfg.ranks_per_channel as u64) as usize;
         let row = rest / self.cfg.ranks_per_channel as u64;
-        let mut fold = row;
-        fold ^= fold >> 4;
-        fold ^= fold >> 8;
-        fold ^= fold >> 16;
-        fold ^= fold >> 32;
-        let bank = ((bank_field ^ fold) % self.cfg.banks_per_rank as u64) as usize;
+        let bank = ((bank_field ^ fold_row(row)) % self.cfg.banks_per_rank as u64) as usize;
         Loc { channel, rank, bank, row }
     }
 
@@ -327,14 +421,10 @@ impl DramSim {
                 if let Some(last) = rank.last_act {
                     act_at = act_at.max(last + cfg.t_rrd);
                 }
-                if rank.recent_acts.len() >= 4 {
-                    let fourth_last = rank.recent_acts[rank.recent_acts.len() - 4];
+                if let Some(fourth_last) = rank.recent_acts.fourth_last() {
                     act_at = act_at.max(fourth_last + cfg.t_faw);
                 }
-                rank.recent_acts.push_back(act_at);
-                if rank.recent_acts.len() > 4 {
-                    rank.recent_acts.pop_front();
-                }
+                rank.recent_acts.record(act_at);
                 rank.last_act = Some(act_at);
                 bank.open_row = Some(loc.row);
                 bank.ready_pre = act_at + cfg.t_ras;
@@ -376,6 +466,135 @@ impl DramSim {
         }
         self.stats.total_latency += completion - arrival;
         completion
+    }
+
+    /// Services `lines` consecutive 64-byte transactions starting at the
+    /// line-aligned `addr` (one contiguous run, all in direction `dir`),
+    /// every one queued at cycle `arrival`, returning the completion cycle
+    /// of the last data beat — the batched hot path for streaming
+    /// accelerator traffic.
+    ///
+    /// **Bit-identical** to the scalar loop
+    /// `(0..lines).map(|i| self.access(arrival, addr + i * 64, dir))` by
+    /// construction, in final state, statistics, and maximum completion:
+    ///
+    /// * channels are fully independent (a transaction touches only its
+    ///   own channel's state, and the statistics are commutative sums), so
+    ///   the run is decomposed into one consecutive sub-stream per channel
+    ///   (lines stripe across channels by address);
+    /// * within a channel the stream is serviced one **row streak** at a
+    ///   time: the streak's first line takes the ordinary scalar path —
+    ///   paying ACT/PRE, tRRD/tFAW, and any bus turnaround exactly as
+    ///   [`DramSim::access`] charges them — and the remaining row hits
+    ///   collapse to closed-form arithmetic. For a same-row, same-direction
+    ///   follow-up the scalar recurrence is
+    ///   `data_start[i] = max(arrival + cas_to_data, data_start[i-1] + tCCD,
+    ///   data_start[i-1] + tBL)`, and `data_start[0] ≥ arrival +
+    ///   cas_to_data` always holds, so every hit lands exactly
+    ///   `max(tCCD, tBL)` after its predecessor — hits, latency, and bank
+    ///   timestamps all follow in closed form;
+    /// * the closed form is abandoned for the scalar path the moment a
+    ///   refresh window could intervene (the pre-access refresh horizon is
+    ///   monotone in the channel's bus time, so the crossing point is
+    ///   computable exactly), which keeps refresh accounting identical.
+    ///
+    /// There is therefore no approximate regime at all: every precondition
+    /// failure (pending refresh, turnaround, cold tFAW/tRRD state) routes
+    /// the affected lines through [`DramSim::access`] itself.
+    pub fn access_burst(&mut self, arrival: u64, addr: u64, lines: u64, dir: Dir) -> u64 {
+        debug_assert_eq!(addr % LINE_BYTES, 0, "bursts start line-aligned");
+        if lines == 0 {
+            return arrival;
+        }
+        if lines == 1 {
+            return self.access(arrival, addr, dir);
+        }
+        let first_line = addr / LINE_BYTES;
+        let channels = self.cfg.channels as u64;
+        let mut done = arrival;
+        for ch in 0..channels.min(lines) {
+            let count = (lines - ch).div_ceil(channels);
+            done = done.max(self.burst_on_channel(arrival, first_line + ch, count, dir));
+        }
+        done
+    }
+
+    /// Services `count` lines on one channel: the global line ids
+    /// `start_line, start_line + channels, …`, i.e. consecutive lines in
+    /// the channel's local address space. See [`DramSim::access_burst`]
+    /// for the exactness argument.
+    fn burst_on_channel(&mut self, arrival: u64, start_line: u64, count: u64, dir: Dir) -> u64 {
+        let cfg = self.cfg;
+        let channels = cfg.channels as u64;
+        let lpr = cfg.lines_per_row();
+        let step = cfg.t_ccd.max(cfg.t_bl);
+        let cas_to_data = match dir {
+            Dir::Read => cfg.t_cl,
+            Dir::Write => cfg.t_cwl,
+        };
+        let chan = (start_line % channels) as usize;
+        let mut done = arrival;
+        let mut k = 0u64;
+        while k < count {
+            let line_addr = (start_line + k * channels) * LINE_BYTES;
+            // Refresh due: service exactly one line through the scalar
+            // path — `access` performs the arithmetic catch-up — and
+            // re-enter the fast path on the next iteration.
+            let ch = &self.channels[chan];
+            if arrival.max(ch.bus_free) >= ch.next_refresh {
+                done = done.max(self.access(arrival, line_addr, dir));
+                k += 1;
+                continue;
+            }
+            // The streak: every remaining line of this row (same bank).
+            let local = (start_line + k * channels) / channels;
+            let streak = (lpr - local % lpr).min(count - k);
+            // First line scalar; no refresh can trigger inside (the
+            // horizon was just checked and `access` checks the same one).
+            let comp0 = self.access(arrival, line_addr, dir);
+            done = done.max(comp0);
+            k += 1;
+            let hits = streak - 1;
+            if hits == 0 {
+                continue;
+            }
+            let ds0 = comp0 - cfg.t_bl;
+            // A hit is only safe while the pre-access refresh horizon
+            // stays below the window: bus_free before hit `i` (1-based)
+            // is ds0 + (i-1)·step + tBL.
+            let nr = self.channels[chan].next_refresh;
+            let safe =
+                if ds0 + cfg.t_bl >= nr { 0 } else { (nr - 1 - cfg.t_bl - ds0) / step.max(1) + 1 };
+            let h = hits.min(safe);
+            if h > 0 {
+                let loc = self.decode(line_addr);
+                let last_ds = ds0 + h * step;
+                let last_cas = last_ds - cas_to_data;
+                let ch = &mut self.channels[chan];
+                ch.bus_free = last_ds + cfg.t_bl;
+                let bank = &mut ch.ranks[loc.rank].banks[loc.bank];
+                bank.ready_cas = last_cas + cfg.t_ccd;
+                match dir {
+                    Dir::Read => {
+                        bank.ready_pre = bank.ready_pre.max(last_cas + cfg.t_rtp);
+                        self.stats.reads += h;
+                    }
+                    Dir::Write => {
+                        bank.ready_pre = bank.ready_pre.max(last_ds + cfg.t_bl + cfg.t_wr);
+                        self.stats.writes += h;
+                    }
+                }
+                self.stats.row_hits += h;
+                // Σ_{i=1..h} (ds0 + i·step + tBL − arrival).
+                self.stats.total_latency +=
+                    h * (ds0 + cfg.t_bl - arrival) + step * (h * (h + 1) / 2);
+                done = done.max(last_ds + cfg.t_bl);
+                k += h;
+            }
+            // If h < hits, a refresh interrupts the streak; the next loop
+            // iteration takes the scalar branch and catches up.
+        }
+        done
     }
 
     /// Resets all bank/bus state and statistics (new measurement window).
@@ -567,6 +786,100 @@ mod tests {
         assert!((cfg4.peak_gb_per_s() - 76.8).abs() < 0.01);
     }
 
+    /// Pins tFAW behaviour across more than four activates: with one
+    /// channel, groups 0..9 land on banks 0..9 of row 0 (the XOR hash is
+    /// identity at row 0), so every access pays an ACT. The first four
+    /// ACTs space out at tRRD; from the fifth on, the four-activate window
+    /// binds (fourth-last ACT + tFAW), and the window must *slide* — the
+    /// ninth ACT is constrained by the fifth, not the first.
+    #[test]
+    fn tfaw_window_slides_across_many_activates() {
+        let mut sim = one_channel();
+        let cfg = sim.config();
+        assert_eq!((cfg.t_rrd, cfg.t_faw), (6, 26), "test pins the ddr4_2400 timings");
+        // ACT times: tRRD paces 0,6,12,18; then tFAW takes over:
+        // 0+26, 6+26, 12+26, 18+26, and the ninth slides to 26+26.
+        let expected_acts = [0u64, 6, 12, 18, 26, 32, 38, 44, 52];
+        let mut prev_done = 0u64;
+        for (g, &act) in expected_acts.iter().enumerate() {
+            let addr = g as u64 * cfg.row_bytes; // next bank group, row 0
+            let done = sim.access(0, addr, Dir::Read);
+            let cas_bound = act + cfg.t_rcd + cfg.t_cl + cfg.t_bl;
+            assert_eq!(done, cas_bound.max(prev_done + cfg.t_bl), "ACT {g} mistimed");
+            prev_done = done;
+        }
+        assert_eq!(sim.stats().row_opens, 9);
+        assert_eq!(sim.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn burst_matches_scalar_on_long_stream_with_refreshes() {
+        // 8 MiB in one go: crosses many rows, all 16 banks repeatedly, and
+        // several tREFI windows — every fast-path clause gets exercised.
+        let cfg = DramConfig::ddr4_2400(2);
+        let mut burst = DramSim::new(cfg);
+        let mut scalar = DramSim::new(cfg);
+        let lines = (8u64 << 20) / 64;
+        let done_b = burst.access_burst(0, 0, lines, Dir::Read);
+        let mut done_s = 0;
+        for i in 0..lines {
+            done_s = done_s.max(scalar.access(0, i * 64, Dir::Read));
+        }
+        assert_eq!(done_b, done_s);
+        assert_eq!(burst.stats(), scalar.stats());
+        assert!(burst.stats().refreshes > 0, "the stream must cross refresh windows");
+        assert!(burst.stats().row_conflicts > 0, "bank revisits must conflict");
+    }
+
+    #[test]
+    fn burst_matches_scalar_after_turnaround_and_gaps() {
+        let cfg = DramConfig::ddr4_2400(4);
+        let mut burst = DramSim::new(cfg);
+        let mut scalar = DramSim::new(cfg);
+        // Write burst, read burst against the warm write state (pays
+        // W→R turnaround on every channel), then a post-gap burst whose
+        // arrival is past several refresh windows, then a misaligned
+        // mid-row burst.
+        let ops: [(u64, u64, u64, Dir); 4] = [
+            (0, 0, 512, Dir::Write),
+            (100, 32 * 64, 300, Dir::Read),
+            (50_000, 4096, 77, Dir::Read),
+            (50_100, 64 * 999, 5, Dir::Write),
+        ];
+        for (arrival, addr, lines, dir) in ops {
+            let db = burst.access_burst(arrival, addr, lines, dir);
+            let mut ds = arrival;
+            for i in 0..lines {
+                ds = ds.max(scalar.access(arrival, addr + i * 64, dir));
+            }
+            assert_eq!(db, ds, "burst completion diverged at {addr:#x}");
+            assert_eq!(burst.stats(), scalar.stats(), "stats diverged at {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn burst_of_zero_and_one_lines_degenerate() {
+        let mut sim = one_channel();
+        assert_eq!(sim.access_burst(123, 0, 0, Dir::Read), 123);
+        assert_eq!(sim.stats(), DramStats::default());
+        let mut twin = one_channel();
+        assert_eq!(sim.access_burst(0, 64, 1, Dir::Read), twin.access(0, 64, Dir::Read));
+        assert_eq!(sim.stats(), twin.stats());
+    }
+
+    #[test]
+    fn burst_streaming_throughput_stays_near_peak() {
+        // The fast path must still produce the physical answer the scalar
+        // path gives: a saturated stream at ~peak bandwidth.
+        let mut sim = one_channel();
+        let n = 16_384u64;
+        let done = sim.access_burst(0, 0, n, Dir::Read);
+        let bpc = (n * 64) as f64 / done as f64;
+        let peak = sim.config().peak_bytes_per_cycle();
+        assert!(bpc > 0.85 * peak, "burst streaming {bpc:.2} B/c vs peak {peak:.2}");
+        assert!(sim.stats().row_hit_rate() > 0.9);
+    }
+
     #[test]
     fn reset_clears_state_and_stats() {
         let mut sim = one_channel();
@@ -607,6 +920,59 @@ mod proptests {
                 prop_assert!(loc.channel < cfg.channels);
                 prop_assert!(loc.bank < cfg.banks_per_rank);
                 arrival += 3;
+            }
+        }
+
+        /// The precomputed shift/mask decode agrees with the division
+        /// formula on every power-of-two topology.
+        #[test]
+        fn shifted_decode_matches_division_formula(
+            ch_log in 0u32..4,
+            row_log in 9u32..13,   // 512 B … 4 KiB rows
+            bank_log in 2u32..6,
+            rank_log in 0u32..3,
+            addrs in proptest::collection::vec(any::<u64>(), 1..64),
+        ) {
+            let cfg = DramConfig {
+                channels: 1 << ch_log,
+                row_bytes: 1 << row_log,
+                banks_per_rank: 1 << bank_log,
+                ranks_per_channel: 1 << rank_log,
+                ..DramConfig::ddr4_2400(1)
+            };
+            let sim = DramSim::new(cfg);
+            prop_assert!(sim.shifts.is_some(), "pow2 config must precompute shifts");
+            for addr in addrs {
+                let addr = addr & !63;
+                prop_assert_eq!(sim.decode(addr), sim.decode_by_division(addr));
+            }
+        }
+
+        /// The burst fast path is bit-identical to the scalar loop: same
+        /// completion, same statistics, same subsequent behaviour — over
+        /// random interleavings of bursts, directions, addresses, and
+        /// arrival gaps (including gaps that land mid-refresh).
+        #[test]
+        fn burst_equals_scalar_loop(
+            ops in proptest::collection::vec(
+                (any::<u32>(), 1u64..160, any::<bool>(), 0u64..20_000), 1..40),
+            channels in 1usize..5,
+        ) {
+            let cfg = DramConfig::ddr4_2400(channels);
+            let mut burst = DramSim::new(cfg);
+            let mut scalar = DramSim::new(cfg);
+            let mut arrival = 0u64;
+            for (addr, lines, is_write, gap) in ops {
+                arrival += gap;
+                let addr = (addr as u64) & !63;
+                let dir = if is_write { Dir::Write } else { Dir::Read };
+                let done_b = burst.access_burst(arrival, addr, lines, dir);
+                let mut done_s = arrival;
+                for i in 0..lines {
+                    done_s = done_s.max(scalar.access(arrival, addr + i * 64, dir));
+                }
+                prop_assert_eq!(done_b, done_s, "completion diverged");
+                prop_assert_eq!(burst.stats(), scalar.stats(), "stats diverged");
             }
         }
 

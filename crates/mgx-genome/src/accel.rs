@@ -130,7 +130,6 @@ pub fn stream_gact_trace(
         (regions.get(ref_region).base, regions.get(query_region).base, regions.get(tb_region).base);
 
     let cfg = *cfg;
-    let label = workload.label();
     let tile = cfg.tile as u64;
     let mut tb_off = 0u64;
     let mut q_off = 0u64;
@@ -146,7 +145,9 @@ pub fn stream_gact_trace(
         for cand in chosen {
             for t in 0..tiles_per_read {
                 let ref_pos = (cand as u64 + t * tile).min(ref_len as u64 - tile);
-                buf.begin_phase(format!("{label} tile@{ref_pos}"), cfg.tile_cycles());
+                // One phase per GACT tile — unnamed: a chromosome-scale
+                // run emits millions of these and the label is never read.
+                buf.begin_unnamed_phase(cfg.tile_cycles());
                 buf.push(MemRequest::read(
                     ref_region,
                     ref_base + ref_pos * cfg.ref_entry_bytes,

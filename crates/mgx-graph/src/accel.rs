@@ -138,10 +138,9 @@ impl TileSchedule {
         let nnz = self.tile_nnz[db * self.src_tiles + st];
         let st_lo = st * cfg.src_tile;
         let st_hi = ((st + 1) * cfg.src_tile).min(self.n);
-        sink.begin_phase(
-            format!("{}[{sweep}] d{db} s{st}", self.workload.label()),
-            nnz.div_ceil(cfg.lanes),
-        );
+        // One phase per (sweep, dst-block, src-tile) — unnamed: these are
+        // the bulk of a graph trace and the label is never read.
+        sink.begin_unnamed_phase(nnz.div_ceil(cfg.lanes));
         if let GraphWorkload::Sssp { frontier_per_mille, .. } = self.workload {
             // SpMSpV: a fraction of the tile's edges are active; the
             // adjacency slice still streams (it is pre-tiled), but

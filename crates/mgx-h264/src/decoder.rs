@@ -297,7 +297,7 @@ mod tests {
         let cfg = small_cfg();
         let t = build_decode_trace(&gop, &cfg);
         // Phase labels carry display numbers; find frame1 (B).
-        let b_phase = t.phases.iter().find(|p| p.label == "frame1").unwrap();
+        let b_phase = t.phases.iter().find(|p| p.label() == "frame1").unwrap();
         let frame_reads = b_phase
             .requests
             .iter()

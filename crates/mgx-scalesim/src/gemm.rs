@@ -203,14 +203,16 @@ impl FoldEmitter {
         self.cost
     }
 
-    /// Emits the phase of fold `(r, c)`.
-    pub fn emit_fold(&self, sink: &mut impl PhaseSink, label: &str, r: u64, c: u64) {
+    /// Emits the phase of fold `(r, c)`. Fold phases are unnamed: a large
+    /// GEMM produces thousands of them and the label was never read
+    /// outside debug output, so they skip the per-phase label allocation.
+    pub fn emit_fold(&self, sink: &mut impl PhaseSink, r: u64, c: u64) {
         let (rf, cf) = (self.cost.row_folds, self.cost.col_folds);
         let folds = rf * cf;
         let (ifr, ifb) = (self.regions.ifmap.0, self.regions.ifmap.1);
         let (flr, flb) = (self.regions.filter.0, self.regions.filter.1);
         let (ofr, ofb) = (self.regions.ofmap.0, self.regions.ofmap.1);
-        sink.begin_phase(format!("{label}[{r},{c}]"), self.cycles_per_fold);
+        sink.begin_unnamed_phase(self.cycles_per_fold);
         // Weights: each fold loads its own slab exactly once.
         let (w_off, w_len) = chunk(self.cost.filter_read_bytes, folds, c * rf + r);
         if w_len > 0 {
@@ -256,7 +258,6 @@ impl FoldEmitter {
 /// `writes_per_output`).
 pub fn emit_gemm(
     sink: &mut impl PhaseSink,
-    label: &str,
     g: &Gemm,
     cfg: &ArrayConfig,
     dataflow: Dataflow,
@@ -267,7 +268,7 @@ pub fn emit_gemm(
     let (rf, cf) = (emitter.cost.row_folds, emitter.cost.col_folds);
     for c in 0..cf {
         for r in 0..rf {
-            emitter.emit_fold(sink, label, r, c);
+            emitter.emit_fold(sink, r, c);
         }
     }
     emitter.cost
@@ -302,7 +303,7 @@ pub fn stream_gemm_trace(
             return false;
         }
         // Same order as `emit_gemm`: column-major over (r, c).
-        emitter.emit_fold(buf, "gemm", fold % rf, fold / rf);
+        emitter.emit_fold(buf, fold % rf, fold / rf);
         fold += 1;
         fold < rf * cf
     });
@@ -440,8 +441,7 @@ mod tests {
         ] {
             let mut b = TraceBuilder::new();
             let regions = build_regions(&mut b, &g, &cfg);
-            let cost =
-                emit_gemm(&mut b, "gemm", &g, &cfg, Dataflow::WeightStationary, &regions, None);
+            let cost = emit_gemm(&mut b, &g, &cfg, Dataflow::WeightStationary, &regions, None);
             let trace = b.finish();
             let t = trace.traffic();
             assert_eq!(
@@ -469,7 +469,7 @@ mod tests {
         let g = Gemm { m: 4096, k: 64, n: 16 };
         let mut b = TraceBuilder::new();
         let regions = build_regions(&mut b, &g, &cfg);
-        emit_gemm(&mut b, "gemm", &g, &cfg, Dataflow::WeightStationary, &regions, None);
+        emit_gemm(&mut b, &g, &cfg, Dataflow::WeightStationary, &regions, None);
         let trace = b.finish();
         for phase in &trace.phases {
             for req in &phase.requests {
@@ -490,13 +490,13 @@ mod tests {
             let streamed = stream_gemm_trace(&g, &cfg, Dataflow::WeightStationary).collect_trace();
             let mut b = TraceBuilder::new();
             let regions = build_regions(&mut b, &g, &cfg);
-            emit_gemm(&mut b, "gemm", &g, &cfg, Dataflow::WeightStationary, &regions, None);
+            emit_gemm(&mut b, &g, &cfg, Dataflow::WeightStationary, &regions, None);
             let emitted = b.finish();
             assert_eq!(streamed.phases.len(), emitted.phases.len());
-            for (s, e) in streamed.phases.iter().zip(&emitted.phases) {
+            for (i, (s, e)) in streamed.phases.iter().zip(&emitted.phases).enumerate() {
                 assert_eq!(s.label, e.label);
                 assert_eq!(s.compute_cycles, e.compute_cycles);
-                assert_eq!(s.requests, e.requests, "fold {} diverged", s.label);
+                assert_eq!(s.requests, e.requests, "fold {i} diverged");
             }
         }
     }

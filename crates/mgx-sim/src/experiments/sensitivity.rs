@@ -171,20 +171,22 @@ pub fn vn_scheme_comparison(scale: &Scale) -> Figure {
     let mut engine = SplitCounterEngine::new(&cfg.protection);
     let mut dram = mgx_dram::DramSim::new(cfg.dram);
     let mut now = 0u64;
-    // Same fractional-carry accel→DRAM conversion as the pipeline proper.
+    // Same fractional-carry accel→DRAM conversion as the pipeline proper,
+    // and the same burst currency (reads as emitted, writes drained after
+    // the phase's reads).
     let mut carry = 0u64;
     for phase in &trace.phases {
         let compute = cfg.to_dram(phase.compute_cycles, &mut carry);
-        let mut txns = Vec::new();
+        let mut bursts = Vec::new();
         for req in &phase.requests {
-            engine.expand(req, &mut |t| txns.push(t));
+            engine.expand_bursts(req, &mut |b| bursts.push(b));
         }
         let mut done = now;
-        for t in txns.iter().filter(|t| t.dir.is_read()) {
-            done = done.max(dram.access(now, t.addr, t.dir));
+        for b in bursts.iter().filter(|b| b.dir.is_read()) {
+            done = done.max(dram.access_burst(now, b.addr, b.lines, b.dir));
         }
-        for t in txns.iter().filter(|t| !t.dir.is_read()) {
-            done = done.max(dram.access(now, t.addr, t.dir));
+        for b in bursts.iter().filter(|b| !b.dir.is_read()) {
+            done = done.max(dram.access_burst(now, b.addr, b.lines, b.dir));
         }
         now += compute.max(done - now);
     }

@@ -4,10 +4,12 @@
 //! The pipeline chains the workspace: an accelerator model exposes a
 //! [`mgx_trace::TraceSource`] (a lazy phase stream, or a materialized
 //! [`mgx_trace::Trace`]); a [`mgx_core::ProtectionEngine`] expands it into
-//! data + metadata DRAM transactions; [`mgx_dram::DramSim`] assigns them
-//! time; and the [`pipeline::Simulation`] session builder folds everything
-//! into execution time and traffic per scheme, consuming one phase at a
-//! time so footprint is independent of workload length.
+//! data + metadata DRAM transactions — batched as contiguous
+//! [`mgx_core::LineBurst`]s on the default [`TxnPath::Burst`] hot path;
+//! [`mgx_dram::DramSim`] assigns them time (closed-form row-streak
+//! arithmetic per burst); and the [`pipeline::Simulation`] session builder
+//! folds everything into execution time and traffic per scheme, consuming
+//! one phase at a time so footprint is independent of workload length.
 //!
 //! Each paper figure is one function in [`experiments`] returning a
 //! [`report::Figure`] whose rows can be printed ([`report::render`]) or
@@ -28,6 +30,6 @@ pub mod pipeline;
 pub mod report;
 pub mod scale;
 
-pub use pipeline::{PhaseMode, RunResult, SimConfig, Simulation};
+pub use pipeline::{PhaseMode, RunResult, SimConfig, Simulation, TxnPath};
 pub use report::{render, render_json, Figure, Row};
 pub use scale::Scale;

@@ -13,7 +13,11 @@
 //!   workload, so peak memory stays O(phases-in-flight × schemes) no matter
 //!   how long the stream is. Keeping the producer on the calling thread
 //!   also means the phase iterator itself never crosses threads — any
-//!   generator qualifies, with no `Send` bound.
+//!   generator qualifies, with no `Send` bound. The broadcast payload is
+//!   an `Arc<Phase>` of coarse requests (hot generators leave the label
+//!   `None`, so a tile phase is just its request vector); each worker
+//!   expands them through the burst hot path (`SchemeRun::step`), so the
+//!   per-line work never crosses threads either.
 //!
 //! * **Across workloads** ([`map`]): the experiment registry's suites are
 //!   embarrassingly parallel (one `Evaluated` per workload), so a simple

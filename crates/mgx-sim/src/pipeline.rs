@@ -11,7 +11,7 @@
 //! phase's reads have issued, mirroring a real controller's read-priority
 //! batching).
 
-use mgx_core::{scheme_engine, LineTxn, MetaTraffic, ProtectionConfig, Scheme};
+use mgx_core::{scheme_engine, LineBurst, MetaTraffic, ProtectionConfig, Scheme};
 use mgx_dram::{DramConfig, DramSim, DramStats};
 use mgx_trace::{Phase, RegionMap, TraceSource};
 
@@ -30,6 +30,23 @@ pub enum PhaseMode {
     },
 }
 
+/// Which transaction currency the pipeline hands the DRAM model.
+///
+/// Both paths produce **bit-identical** results — `Burst` is the default
+/// and the reason the simulator is fast; `PerLine` is the reference path
+/// kept alive so the equivalence stays checkable (the `hotpath` bench and
+/// the burst proptest in `tests/pipeline_shapes.rs` compare the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxnPath {
+    /// Engines emit contiguous [`LineBurst`]s, serviced by
+    /// `DramSim::access_burst`'s closed-form row-streak arithmetic.
+    #[default]
+    Burst,
+    /// One virtual callback plus one scalar `DramSim::access` per 64-byte
+    /// line — the original hot loop, retained as the reference.
+    PerLine,
+}
+
 /// Everything the simulator needs besides the workload.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -41,6 +58,8 @@ pub struct SimConfig {
     pub mode: PhaseMode,
     /// Protection parameters (granularities, protected capacity).
     pub protection: ProtectionConfig,
+    /// Transaction granularity (burst fast path vs per-line reference).
+    pub txn_path: TxnPath,
 }
 
 impl SimConfig {
@@ -51,6 +70,7 @@ impl SimConfig {
             accel_freq_mhz,
             mode: PhaseMode::Overlapped,
             protection: ProtectionConfig::default(),
+            txn_path: TxnPath::Burst,
         }
     }
 
@@ -119,8 +139,11 @@ pub(crate) struct SchemeRun {
     /// Per-phase write staging (reused): reads issue the moment the engine
     /// emits them; writes drain after the phase's reads, which is what a
     /// real controller does to amortize bus turnarounds — fine-grained R/W
-    /// interleaving would otherwise pay tWTR/tRTW per line.
-    write_buf: Vec<LineTxn>,
+    /// interleaving would otherwise pay tWTR/tRTW per line. Staged as
+    /// [`LineBurst`]s: on the burst path a 64 KiB tile stages one element
+    /// instead of a thousand, and the per-line path simply stages 1-line
+    /// bursts (same drain order either way).
+    write_buf: Vec<LineBurst>,
 }
 
 enum ModeState {
@@ -161,21 +184,50 @@ impl SchemeRun {
     /// Expands and issues one phase's transactions, returning the cycle
     /// the last one completes. Reads go to DRAM as the engine emits them;
     /// writes drain afterwards (see `write_buf`).
-    fn issue_phase(&mut self, start: u64, phase: &Phase) -> u64 {
+    ///
+    /// The burst path and the per-line path issue the *same* line sequence
+    /// in the same order (a burst stands for its lines in ascending
+    /// address order, and `access_burst` services them bit-identically to
+    /// the scalar loop), so the two paths — and any mix of them across
+    /// phases — produce identical results.
+    fn issue_phase(&mut self, start: u64, phase: &Phase, path: TxnPath) -> u64 {
         let mut done = start;
         let Self { engine, dram, write_buf, .. } = self;
         write_buf.clear();
-        for req in &phase.requests {
-            engine.expand(req, &mut |txn| {
-                if txn.dir.is_read() {
-                    done = done.max(dram.access(start, txn.addr, txn.dir));
-                } else {
-                    write_buf.push(txn);
+        match path {
+            TxnPath::Burst => {
+                for req in &phase.requests {
+                    engine.expand_bursts(req, &mut |burst| {
+                        if burst.dir.is_read() {
+                            done = done.max(dram.access_burst(
+                                start,
+                                burst.addr,
+                                burst.lines,
+                                burst.dir,
+                            ));
+                        } else {
+                            write_buf.push(burst);
+                        }
+                    });
                 }
-            });
-        }
-        for txn in write_buf.drain(..) {
-            done = done.max(dram.access(start, txn.addr, txn.dir));
+                for b in write_buf.drain(..) {
+                    done = done.max(dram.access_burst(start, b.addr, b.lines, b.dir));
+                }
+            }
+            TxnPath::PerLine => {
+                for req in &phase.requests {
+                    engine.expand(req, &mut |txn| {
+                        if txn.dir.is_read() {
+                            done = done.max(dram.access(start, txn.addr, txn.dir));
+                        } else {
+                            write_buf.push(txn.into());
+                        }
+                    });
+                }
+                for b in write_buf.drain(..) {
+                    done = done.max(dram.access(start, b.addr, b.dir));
+                }
+            }
         }
         done
     }
@@ -198,7 +250,7 @@ impl SchemeRun {
                 (clocks[u], Some(u))
             }
         };
-        let mem_done = self.issue_phase(start, phase);
+        let mem_done = self.issue_phase(start, phase, cfg.txn_path);
         match (&mut self.mode, unit) {
             (ModeState::Overlapped { now }, None) => *now += compute.max(mem_done - start),
             (ModeState::Serial { clocks: Some(clocks), .. }, Some(u)) => {
@@ -312,6 +364,14 @@ impl<S: TraceSource> Simulation<S> {
         self
     }
 
+    /// Selects the transaction currency ([`TxnPath::Burst`] by default).
+    /// [`TxnPath::PerLine`] is the slow reference path; results are
+    /// bit-identical either way.
+    pub fn txn_path(mut self, path: TxnPath) -> Self {
+        self.cfg.txn_path = path;
+        self
+    }
+
     /// Fans [`Simulation::run_all`]'s five schemes out across up to
     /// `n_threads` worker threads (`0` = one per available core).
     ///
@@ -374,7 +434,7 @@ mod tests {
         let r = b.regions_mut().alloc("buf", mib << 20, DataClass::Feature);
         let base = b.regions().get(r).base;
         for i in 0..(mib << 20) / TILE {
-            b.begin_phase(format!("p{i}"), 0); // pure streaming: memory-bound
+            b.begin_unnamed_phase(0); // pure streaming: memory-bound
             let addr = base + i * TILE;
             if i % 4 < write_fraction_pct / 25 {
                 b.push(MemRequest::write(r, addr, TILE));
@@ -435,7 +495,7 @@ mod tests {
         let r = b.regions_mut().alloc("buf", 1 << 20, DataClass::Feature);
         let base = b.regions().get(r).base;
         for i in 0..64u64 {
-            b.begin_phase(format!("p{i}"), 1_000_000);
+            b.begin_unnamed_phase(1_000_000);
             b.push(MemRequest::read(r, base + i * 4096, 4096));
         }
         let trace = b.finish();
@@ -468,7 +528,7 @@ mod tests {
         let r = b.regions_mut().alloc("buf", 16 << 20, DataClass::Reference);
         let base = b.regions().get(r).base;
         for i in 0..256u64 {
-            b.begin_phase(format!("t{i}"), 20_000);
+            b.begin_unnamed_phase(20_000);
             b.push(MemRequest::read(r, base + i * 4096, 4096));
         }
         let trace = b.finish();
@@ -512,8 +572,8 @@ mod tests {
         // exact 12000 — the long-stream drift this regression pins down.
         let mut b = TraceBuilder::new();
         b.regions_mut().alloc("buf", 1 << 20, DataClass::Feature);
-        for i in 0..7000u64 {
-            b.begin_phase(format!("p{i}"), 1); // odd cycle count on purpose
+        for _ in 0..7000u64 {
+            b.begin_unnamed_phase(1); // odd cycle count on purpose
         }
         let trace = b.finish();
         let r = Simulation::over(&trace).config(cfg()).run();
@@ -526,14 +586,28 @@ mod tests {
         // on a single unit is the exact sum, not the per-phase floor sum.
         let mut b = TraceBuilder::new();
         b.regions_mut().alloc("buf", 1 << 20, DataClass::Feature);
-        for i in 0..700u64 {
-            b.begin_phase(format!("t{i}"), 3); // 3 × 1200/700 = 36/7 per phase
+        for _ in 0..700u64 {
+            b.begin_unnamed_phase(3); // 3 × 1200/700 = 36/7 per phase
         }
         let trace = b.finish();
         let serial = Simulation::over(&trace)
             .config(SimConfig { mode: PhaseMode::Serial { units: 1 }, ..cfg() })
             .run();
         assert_eq!(serial.dram_cycles, 3_600, "700 × 36/7 must be exact");
+    }
+
+    #[test]
+    fn per_line_reference_path_is_bit_identical_to_bursts() {
+        let trace = stream_trace(2, 25);
+        let burst = Simulation::over(&trace).config(cfg()).run_all();
+        let line = Simulation::over(&trace).config(cfg()).txn_path(TxnPath::PerLine).run_all();
+        for (b, l) in burst.iter().zip(&line) {
+            assert_eq!(b.scheme, l.scheme);
+            assert_eq!(b.dram_cycles, l.dram_cycles, "{:?} diverged", b.scheme);
+            assert_eq!(b.traffic, l.traffic, "{:?} traffic diverged", b.scheme);
+            assert_eq!(b.dram, l.dram, "{:?} DRAM stats diverged", b.scheme);
+            assert_eq!(b.exec_ns.to_bits(), l.exec_ns.to_bits());
+        }
     }
 
     #[test]
@@ -565,7 +639,7 @@ mod tests {
             let regions = regions.clone();
             let phases = std::iter::from_fn(move || {
                 (i < (1 << 20) / TILE).then(|| {
-                    let mut p = mgx_trace::Phase::new(format!("p{i}"), 11);
+                    let mut p = mgx_trace::Phase::unnamed(11);
                     p.requests.push(MemRequest::read(r, base + i * TILE, TILE));
                     i += 1;
                     p
@@ -592,7 +666,7 @@ mod tests {
         let mut i = 0u64;
         let phases = std::iter::from_fn(move || {
             (i < (1 << 20) / TILE).then(|| {
-                let mut p = mgx_trace::Phase::new(format!("p{i}"), 0);
+                let mut p = mgx_trace::Phase::unnamed(0);
                 p.requests.push(MemRequest::read(r, base + i * TILE, TILE));
                 i += 1;
                 p

@@ -111,6 +111,14 @@ pub trait PhaseSink {
     /// Starts a new phase, sealing the previous one.
     fn begin_phase(&mut self, label: impl Into<String>, compute_cycles: u64);
 
+    /// Starts a new *unlabeled* phase, sealing the previous one.
+    ///
+    /// Hot generators emit one phase per tile; an unlabeled phase carries
+    /// no heap-allocated label (`Phase::label` is `None`), so per-tile
+    /// emission stays allocation-free. Use [`PhaseSink::begin_phase`] only
+    /// where the label is worth reading back (per-op / per-frame phases).
+    fn begin_unnamed_phase(&mut self, compute_cycles: u64);
+
     /// Adds a request to the current phase.
     ///
     /// # Panics
@@ -157,6 +165,13 @@ impl PhaseSink for PhaseBuf {
             self.phases.push(p);
         }
         self.current = Some(Phase::new(label, compute_cycles));
+    }
+
+    fn begin_unnamed_phase(&mut self, compute_cycles: u64) {
+        if let Some(p) = self.current.take() {
+            self.phases.push(p);
+        }
+        self.current = Some(Phase::unnamed(compute_cycles));
     }
 
     fn push(&mut self, req: MemRequest) {
@@ -236,7 +251,7 @@ mod tests {
         assert_eq!(collected.phases.len(), t.phases.len());
         let (regions, phases) = t.clone().into_stream();
         assert_eq!(regions.len(), 1);
-        let labels: Vec<String> = phases.map(|p| p.label).collect();
+        let labels: Vec<String> = phases.map(|p| p.label().to_string()).collect();
         assert_eq!(labels, vec!["p0", "p1"]);
     }
 
@@ -281,7 +296,7 @@ mod tests {
             }
             step < 4
         });
-        let labels: Vec<String> = stream.map(|p| p.label).collect();
+        let labels: Vec<String> = stream.map(|p| p.label().to_string()).collect();
         assert_eq!(labels, vec!["s1a", "s1b", "s3a", "s3b", "s4a", "s4b"]);
     }
 

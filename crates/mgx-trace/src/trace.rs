@@ -63,8 +63,11 @@ impl<'a> core::iter::Sum<&'a Traffic> for Traffic {
 /// the slower side dominates).
 #[derive(Debug, Clone, Default)]
 pub struct Phase {
-    /// Label for diagnostics (layer name, tile id, …).
-    pub label: String,
+    /// Optional label for diagnostics (layer name, tile id, …). `None` for
+    /// the bulk tile phases the hot generators emit: the label is only
+    /// ever read by debug/figure output, and a million-phase stream must
+    /// not pay a heap allocation per phase just to carry `"p{i}"`.
+    pub label: Option<Box<str>>,
     /// Compute cycles at the *accelerator* clock.
     pub compute_cycles: u64,
     /// Ordered data movements issued during the phase.
@@ -72,9 +75,20 @@ pub struct Phase {
 }
 
 impl Phase {
-    /// Creates an empty phase.
+    /// Creates an empty named phase.
     pub fn new(label: impl Into<String>, compute_cycles: u64) -> Self {
-        Self { label: label.into(), compute_cycles, requests: Vec::new() }
+        Self { label: Some(label.into().into_boxed_str()), compute_cycles, requests: Vec::new() }
+    }
+
+    /// Creates an empty unlabeled phase — the allocation-free constructor
+    /// for per-tile phases in streaming generators.
+    pub fn unnamed(compute_cycles: u64) -> Self {
+        Self { label: None, compute_cycles, requests: Vec::new() }
+    }
+
+    /// The label for display, empty if the phase is unnamed.
+    pub fn label(&self) -> &str {
+        self.label.as_deref().unwrap_or("")
     }
 
     /// Raw data traffic of this phase (no protection metadata).
@@ -156,6 +170,12 @@ impl TraceBuilder {
         self.current = Some(Phase::new(label, compute_cycles));
     }
 
+    /// Starts a new unlabeled phase, sealing the previous one.
+    pub fn begin_unnamed_phase(&mut self, compute_cycles: u64) {
+        self.seal();
+        self.current = Some(Phase::unnamed(compute_cycles));
+    }
+
     /// Adds a request to the current phase.
     ///
     /// # Panics
@@ -201,6 +221,10 @@ impl PhaseSink for TraceBuilder {
         TraceBuilder::begin_phase(self, label, compute_cycles);
     }
 
+    fn begin_unnamed_phase(&mut self, compute_cycles: u64) {
+        TraceBuilder::begin_unnamed_phase(self, compute_cycles);
+    }
+
     fn push(&mut self, req: MemRequest) {
         TraceBuilder::push(self, req);
     }
@@ -241,11 +265,24 @@ mod tests {
         b.push(req(Dir::Read, 64));
         let t = b.finish();
         assert_eq!(t.phases.len(), 2);
-        assert_eq!(t.phases[0].label, "p0");
+        assert_eq!(t.phases[0].label(), "p0");
         assert_eq!(t.phases[1].requests.len(), 2);
         assert_eq!(t.compute_cycles(), 30);
         assert_eq!(t.traffic(), Traffic { read_bytes: 128, write_bytes: 128 });
         assert_eq!(t.request_count(), 3);
+    }
+
+    #[test]
+    fn unnamed_phases_carry_no_label() {
+        let mut b = TraceBuilder::new();
+        b.regions_mut().alloc("r", 4096, DataClass::Other);
+        b.begin_unnamed_phase(7);
+        b.push(req(Dir::Read, 64));
+        let t = b.finish();
+        assert_eq!(t.phases[0].label, None);
+        assert_eq!(t.phases[0].label(), "");
+        assert_eq!(t.phases[0].compute_cycles, 7);
+        assert_eq!(Phase::unnamed(3).compute_cycles, 3);
     }
 
     #[test]

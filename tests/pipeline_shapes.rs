@@ -14,7 +14,7 @@ use mgx::graph::rmat::RmatGenerator;
 use mgx::h264::decoder::{stream_decode_trace, DecoderConfig};
 use mgx::h264::GopStructure;
 use mgx::scalesim::{ArrayConfig, Dataflow};
-use mgx::sim::{PhaseMode, SimConfig, Simulation};
+use mgx::sim::{PhaseMode, SimConfig, Simulation, TxnPath};
 use mgx::trace::{DataClass, MemRequest, Phase, RegionMap, Trace, TraceSource};
 use mgx_sim::experiments::{self, Evaluated};
 use proptest::prelude::*;
@@ -134,10 +134,14 @@ type PhaseSpec = (u64, Vec<(usize, u64, bool)>);
 
 fn spec_regions() -> (RegionMap, Vec<(mgx::trace::RegionId, u64, u64)>) {
     let mut regions = RegionMap::new();
+    // One region per MAC-granularity regime: coarse Bytes(512) (feat/wgt),
+    // fine Bytes(64) (emb), and PerRequest (adj) — so every equivalence
+    // property below exercises every `CoarseMacTracker` branch.
     let specs = [
         ("feat", 4 << 20, DataClass::Feature),
         ("wgt", 2 << 20, DataClass::Weight),
         ("emb", 1 << 20, DataClass::Embedding),
+        ("adj", 1 << 20, DataClass::Adjacency),
     ];
     let mut meta = Vec::new();
     for (name, bytes, class) in specs {
@@ -147,8 +151,8 @@ fn spec_regions() -> (RegionMap, Vec<(mgx::trace::RegionId, u64, u64)>) {
     (regions, meta)
 }
 
-fn spec_phase(meta: &[(mgx::trace::RegionId, u64, u64)], i: usize, spec: &PhaseSpec) -> Phase {
-    let mut p = Phase::new(format!("p{i}"), spec.0);
+fn spec_phase(meta: &[(mgx::trace::RegionId, u64, u64)], spec: &PhaseSpec) -> Phase {
+    let mut p = Phase::unnamed(spec.0);
     for &(region_idx, tile, write) in &spec.1 {
         let (id, base, bytes) = meta[region_idx % meta.len()];
         // Derive an in-bounds, nonzero request from the raw tile value.
@@ -168,7 +172,7 @@ fn spec_source(specs: Vec<PhaseSpec>) -> (RegionMap, impl Iterator<Item = Phase>
     let mut i = 0usize;
     let phases = std::iter::from_fn(move || {
         (i < specs.len()).then(|| {
-            let p = spec_phase(&meta, i, &specs[i]);
+            let p = spec_phase(&meta, &specs[i]);
             i += 1;
             p
         })
@@ -187,7 +191,7 @@ proptest! {
     fn parallel_run_all_matches_sequential(
         specs in proptest::collection::vec(
             (0u64..200_000, proptest::collection::vec(
-                (0usize..3, 1u64..1_000_000, proptest::strategy::any::<bool>()), 1..4)),
+                (0usize..4, 1u64..1_000_000, proptest::strategy::any::<bool>()), 1..4)),
             1..24),
         serial in proptest::strategy::any::<bool>(),
         units in 1u64..4,
@@ -208,6 +212,43 @@ proptest! {
         }
     }
 
+    /// The acceptance property of the burst hot path: for any workload,
+    /// phase mode, and thread count in {1, 4}, simulating with batched
+    /// `LineBurst` transactions (engine `expand_bursts` → DRAM
+    /// `access_burst`, the default) is bit-identical — cycles, traffic
+    /// breakdown, DRAM stats, even the float bits of `exec_ns` — to the
+    /// per-line reference path, under every scheme at once.
+    #[test]
+    fn burst_path_matches_per_line_path(
+        specs in proptest::collection::vec(
+            (0u64..200_000, proptest::collection::vec(
+                (0usize..4, 1u64..1_000_000, proptest::strategy::any::<bool>()), 1..4)),
+            1..24),
+        serial in proptest::strategy::any::<bool>(),
+        units in 1u64..4,
+    ) {
+        let mode = if serial { PhaseMode::Serial { units } } else { PhaseMode::Overlapped };
+        let base = SimConfig { mode, ..SimConfig::overlapped(2, 700) };
+        for threads in [1usize, 4] {
+            let burst = Simulation::over(spec_source(specs.clone()))
+                .config(SimConfig { txn_path: TxnPath::Burst, ..base.clone() })
+                .parallel(threads)
+                .run_all();
+            let line = Simulation::over(spec_source(specs.clone()))
+                .config(SimConfig { txn_path: TxnPath::PerLine, ..base.clone() })
+                .parallel(threads)
+                .run_all();
+            for (b, l) in burst.iter().zip(&line) {
+                prop_assert_eq!(b.scheme, l.scheme);
+                prop_assert_eq!(b.dram_cycles, l.dram_cycles,
+                    "cycles diverged for {} at {} threads", l.scheme, threads);
+                prop_assert_eq!(b.traffic, l.traffic, "traffic diverged for {}", l.scheme);
+                prop_assert_eq!(b.dram, l.dram, "DRAM stats diverged for {}", l.scheme);
+                prop_assert_eq!(b.exec_ns.to_bits(), l.exec_ns.to_bits());
+            }
+        }
+    }
+
     /// The acceptance property of the streaming redesign: for any workload
     /// and any phase mode, simulating the lazy stream is bit-identical —
     /// cycles, traffic breakdown, DRAM stats — to simulating its
@@ -216,7 +257,7 @@ proptest! {
     fn streamed_source_matches_collected_trace(
         specs in proptest::collection::vec(
             (0u64..200_000, proptest::collection::vec(
-                (0usize..3, 1u64..1_000_000, proptest::strategy::any::<bool>()), 1..4)),
+                (0usize..4, 1u64..1_000_000, proptest::strategy::any::<bool>()), 1..4)),
             1..24),
         serial in proptest::strategy::any::<bool>(),
         units in 1u64..4,
