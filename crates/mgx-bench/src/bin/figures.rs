@@ -5,18 +5,27 @@
 //! cargo run -p mgx-bench --release --bin figures -- fig13a fig14b --quick
 //! ```
 //!
-//! Figure ids: `fig3 fig12a fig12b fig13a fig13b fig14a fig14b fig16 h264
-//! pruning ablations summary`. `--quick` uses the reduced CI scale (see
-//! `mgx_sim::Scale`); the default is the standard scale recorded in
-//! EXPERIMENTS.md. `--json` switches every figure (and the summary table)
-//! to machine-readable per-scheme JSON, one object per line, for
-//! downstream plotting. `--threads N` fans the independent workloads of
-//! each suite across `N` pool workers (`0` = one per core); results are
-//! byte-identical to the serial run, only wall-clock changes.
+//! `--list` prints the available figure ids with one-line descriptions
+//! and exits. `--quick` uses the reduced CI scale (see `mgx_sim::Scale`);
+//! the default is the standard scale recorded in EXPERIMENTS.md. `--json`
+//! switches every figure (and the summary table) to machine-readable
+//! per-scheme JSON, one object per line, for downstream plotting.
+//! `--threads N` fans the independent workloads of each suite across `N`
+//! pool workers (`0` = one per core); results are byte-identical to the
+//! serial run, only wall-clock changes. `--store DIR` routes every suite
+//! sweep through the same content-addressed result store the `serve`
+//! daemon uses: a repeated figure run (same scale, same simulator build)
+//! reloads its sweeps from `DIR` instead of re-simulating.
 
 use mgx_core::MetaTraffic;
-use mgx_sim::experiments::{self, dnn, genome, graph, sensitivity, video, Evaluated};
+use mgx_serve::codec::evaluated_from_json;
+use mgx_serve::{ResultStore, StoreConfig};
+use mgx_sim::experiments::{
+    self, dnn, genome, graph, sensitivity, video, Evaluated, FIGURE_CATALOG,
+};
+use mgx_sim::job::{JobSpec, Suite};
 use mgx_sim::{render, render_json, Figure, Scale};
+use std::path::PathBuf;
 
 fn wants(args: &[String], id: &str) -> bool {
     args.iter().any(|a| a == id || a == "all")
@@ -51,9 +60,68 @@ fn parse_threads(args: &mut Vec<String>) -> usize {
     threads
 }
 
+/// Extracts every `--store DIR` / `--store=DIR` from `args` (last wins),
+/// removing what it consumed.
+fn parse_store(args: &mut Vec<String>) -> Option<PathBuf> {
+    let mut dir = None;
+    while let Some(i) = args.iter().position(|a| a == "--store" || a.starts_with("--store=")) {
+        let flag = args.remove(i);
+        dir = Some(PathBuf::from(match flag.strip_prefix("--store=") {
+            Some(v) => v.to_string(),
+            None => {
+                assert!(i < args.len(), "--store needs a directory");
+                args.remove(i)
+            }
+        }));
+    }
+    dir
+}
+
+/// Runs (or reloads) one suite's five-scheme sweep, routed through the
+/// content-addressed store when `--store` is set. The digest covers the
+/// scale knobs and the simulator version, so a hit is exactly the sweep
+/// this invocation would have produced.
+fn suite_evals(
+    suite: Suite,
+    scale: &Scale,
+    threads: usize,
+    store: Option<&ResultStore>,
+) -> Vec<Evaluated> {
+    let spec = JobSpec::suite_sweep(suite, *scale, threads);
+    let Some(store) = store else { return spec.execute() };
+    let digest = spec.digest();
+    if let Some(doc) = store.get(digest) {
+        match evaluated_from_json(&doc) {
+            Ok(evals) => {
+                eprintln!("# {}: store hit ({})", suite.name(), spec.digest_hex());
+                return evals;
+            }
+            Err(e) => eprintln!("# {}: discarding unreadable store entry ({e})", suite.name()),
+        }
+    }
+    let evals = spec.execute();
+    if let Err(e) = store.put(digest, spec.result_json(&evals)) {
+        eprintln!("# {}: store write failed ({e}); continuing uncached", suite.name());
+    }
+    evals
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = parse_threads(&mut args);
+    let store_dir = parse_store(&mut args);
+    if args.iter().any(|a| a == "--list") {
+        println!("{:<10} description", "figure");
+        for (id, desc) in FIGURE_CATALOG {
+            println!("{id:<10} {desc}");
+        }
+        return;
+    }
+    let store = store_dir.map(|dir| {
+        ResultStore::open(StoreConfig { mem_entries: 16, disk: Some(dir) })
+            .expect("--store directory must be creatable")
+    });
+    let store = store.as_ref();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let scale = if quick { Scale::quick() } else { Scale::standard() };
@@ -66,6 +134,12 @@ fn main() {
     };
     let args: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     let args = if args.is_empty() { vec!["all".to_string()] } else { args };
+    for id in &args {
+        if !FIGURE_CATALOG.iter().any(|(known, _)| known == id) {
+            eprintln!("unknown figure `{id}` — run with --list to see the available ids");
+            std::process::exit(2);
+        }
+    }
 
     eprintln!("# scale: {scale:?}");
     eprintln!("# threads: {} ({threads} requested)", mgx_sim::parallel::resolve_threads(threads));
@@ -76,7 +150,7 @@ fn main() {
 
     let dnn_inf: Vec<Evaluated> = if need_dnn_inf {
         eprintln!("# simulating DNN inference suite…");
-        let e = dnn::evaluate_inference_on(&scale, threads);
+        let e = suite_evals(Suite::DnnInference, &scale, threads, store);
         log_volume("DNN inference", &e);
         e
     } else {
@@ -84,7 +158,7 @@ fn main() {
     };
     let dnn_train: Vec<Evaluated> = if need_dnn_train {
         eprintln!("# simulating DNN training suite…");
-        let e = dnn::evaluate_training_on(&scale, threads);
+        let e = suite_evals(Suite::DnnTraining, &scale, threads, store);
         log_volume("DNN training", &e);
         e
     } else {
@@ -92,7 +166,7 @@ fn main() {
     };
     let graphs: Vec<Evaluated> = if need_graph {
         eprintln!("# simulating graph suite…");
-        let e = graph::evaluate_on(&scale, threads);
+        let e = suite_evals(Suite::Graph, &scale, threads, store);
         log_volume("graph", &e);
         e
     } else {
@@ -122,11 +196,11 @@ fn main() {
     }
     if wants(&args, "fig16") {
         eprintln!("# simulating GACT suite…");
-        let g = genome::evaluate_on(&scale, threads);
+        let g = suite_evals(Suite::Genome, &scale, threads, store);
         print(&genome::fig16(&g));
     }
     if wants(&args, "h264") {
-        let v = video::evaluate_on(&scale, threads);
+        let v = suite_evals(Suite::Video, &scale, threads, store);
         print(&video::fig_h264(&v));
     }
     if wants(&args, "pruning") {

@@ -1,0 +1,236 @@
+//! `mgx-client`: CLI for the `serve` daemon.
+//!
+//! ```text
+//! mgx-client [--addr HOST:PORT] <command> [spec flags]
+//!
+//! commands:
+//!   submit      enqueue a job, print the envelope (job id, status)
+//!   poll JOB    print a job's status envelope
+//!   fetch JOB   print a job's result document, verbatim
+//!   run         submit + fetch in one round trip (prints the document)
+//!   render FIG  fetch the suite behind FIG and print the same JSON line
+//!               `figures --json` prints for it (byte-identical)
+//!   stats       print the server counter envelope
+//!   suites      print the workload registry
+//!   shutdown    ask the server to drain and exit
+//!   bench       hammer the server: N connections x M `run` requests,
+//!               report throughput and store hit rate
+//!
+//! spec flags (submit/run/render/bench):
+//!   --suite S        dnn-inference|dnn-training|graph|genome|video
+//!   --scale S        quick|standard (default quick)
+//!   --schemes A,B    subset of NP,BP,MGX,MGX_VN,MGX_MAC (default all)
+//!   --threads N      sweep fan-out on the server (default 1)
+//!   --spec-json J    raw spec object (overrides the flags above)
+//!
+//! bench flags:
+//!   --connections N  concurrent connections (default 8)
+//!   --requests M     `run` requests per connection (default 4)
+//! ```
+
+use mgx_core::Scheme;
+use mgx_serve::codec::{evaluated_from_json, spec_to_wire};
+use mgx_serve::json::Json;
+use mgx_serve::Client;
+use mgx_sim::experiments::suite_figures;
+use mgx_sim::job::{scheme_from_label, JobSpec, Suite};
+use mgx_sim::{render_json, Scale};
+
+fn die(msg: &str) -> ! {
+    eprintln!("mgx-client: {msg}");
+    std::process::exit(1);
+}
+
+/// Extracts `--flag VALUE` / `--flag=VALUE` from `args` (last wins).
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut found = None;
+    while let Some(i) = args.iter().position(|a| a == flag || a.starts_with(&prefix)) {
+        let raw = args.remove(i);
+        found = Some(match raw.strip_prefix(&prefix) {
+            Some(v) => v.to_string(),
+            None => {
+                if i >= args.len() {
+                    die(&format!("{flag} needs a value"));
+                }
+                args.remove(i)
+            }
+        });
+    }
+    found
+}
+
+/// Builds a spec from the CLI flags. `default_suite` is set by commands
+/// that imply the suite themselves (`render`); everything else requires
+/// `--suite` (or `--spec-json`).
+fn spec_from_flags(args: &mut Vec<String>, default_suite: Option<Suite>) -> JobSpec {
+    if let Some(raw) = take_flag(args, "--spec-json") {
+        let v = Json::parse(&raw).unwrap_or_else(|e| die(&format!("--spec-json: {e}")));
+        return mgx_serve::codec::spec_from_wire(&v)
+            .unwrap_or_else(|e| die(&format!("--spec-json: {e}")));
+    }
+    let suite = match take_flag(args, "--suite") {
+        Some(name) => {
+            Suite::from_name(&name).unwrap_or_else(|| die(&format!("unknown suite `{name}`")))
+        }
+        None => default_suite.unwrap_or_else(|| die("need --suite (or --spec-json)")),
+    };
+    let scale = match take_flag(args, "--scale").as_deref() {
+        None | Some("quick") => Scale::quick(),
+        Some("standard") => Scale::standard(),
+        Some(other) => die(&format!("unknown scale `{other}` (quick|standard)")),
+    };
+    let schemes: Vec<Scheme> = match take_flag(args, "--schemes") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|label| {
+                scheme_from_label(label)
+                    .unwrap_or_else(|| die(&format!("unknown scheme `{label}`")))
+            })
+            .collect(),
+    };
+    let threads = take_flag(args, "--threads")
+        .map(|t| t.parse().unwrap_or_else(|_| die("--threads takes an integer")))
+        .unwrap_or(1);
+    JobSpec { suite, scale, schemes, threads }.canonicalize()
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect_str(addr).unwrap_or_else(|e| die(&format!("connect {addr}: {e}")))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".into());
+    let command = if args.is_empty() {
+        die("need a command (see --help in the source header)")
+    } else {
+        args.remove(0)
+    };
+    match command.as_str() {
+        "submit" => {
+            let spec = spec_from_flags(&mut args, None);
+            let reply = connect(&addr).submit(&spec).unwrap_or_else(|e| die(&e.to_string()));
+            println!("{}", reply.render());
+        }
+        "poll" | "fetch" => {
+            let job = if args.is_empty() { die("need a JOB id") } else { args.remove(0) };
+            let mut c = connect(&addr);
+            let out =
+                if command == "poll" { c.poll(&job).map(|v| v.render()) } else { c.fetch(&job) };
+            println!("{}", out.unwrap_or_else(|e| die(&e.to_string())));
+        }
+        "run" => {
+            let spec = spec_from_flags(&mut args, None);
+            let doc = connect(&addr).run(&spec).unwrap_or_else(|e| die(&e.to_string()));
+            println!("{doc}");
+        }
+        "render" => {
+            let fig = if args.is_empty() { die("need a figure id") } else { args.remove(0) };
+            // The shared per-suite registry (`mgx_sim::experiments`) names
+            // the suite and builder; the figure id implies the suite, so
+            // `--suite` is optional here.
+            let builders = suite_figures();
+            let Some((_, suite, build)) = builders.iter().find(|(id, _, _)| *id == fig) else {
+                let known: Vec<&str> = builders.iter().map(|(id, _, _)| *id).collect();
+                die(&format!("unknown figure `{fig}` (render supports: {})", known.join(" ")));
+            };
+            // Figures need the full five-scheme sweep; any --schemes flag
+            // is overridden so the document reloads as `Evaluated`s.
+            let mut spec = spec_from_flags(&mut args, Some(*suite));
+            spec = JobSpec { suite: *suite, schemes: Scheme::ALL.to_vec(), ..spec };
+            let doc = connect(&addr).run(&spec).unwrap_or_else(|e| die(&e.to_string()));
+            if doc.contains("\"ok\":false") {
+                die(&format!("server error: {doc}"));
+            }
+            let evals = evaluated_from_json(&doc).unwrap_or_else(|e| die(&e));
+            println!("{}", render_json(&build(&evals)));
+        }
+        "stats" | "suites" | "shutdown" => {
+            let mut c = connect(&addr);
+            let reply = match command.as_str() {
+                "stats" => c.stats(),
+                "shutdown" => c.shutdown(),
+                _ => c
+                    .request("{\"op\":\"suites\"}")
+                    .and_then(|r| Json::parse(&r).map_err(std::io::Error::other)),
+            };
+            println!("{}", reply.unwrap_or_else(|e| die(&e.to_string())).render());
+        }
+        "bench" => {
+            let connections: usize = take_flag(&mut args, "--connections")
+                .map(|v| v.parse().unwrap_or_else(|_| die("--connections takes an integer")))
+                .unwrap_or(8);
+            let requests: usize = take_flag(&mut args, "--requests")
+                .map(|v| v.parse().unwrap_or_else(|_| die("--requests takes an integer")))
+                .unwrap_or(4);
+            let spec = spec_from_flags(&mut args, None);
+            bench(&addr, &spec, connections, requests);
+        }
+        other => die(&format!("unknown command `{other}`")),
+    }
+}
+
+/// Hammers the server with `connections` concurrent clients, each issuing
+/// `requests` blocking `run` round trips of the same spec, and reports
+/// throughput plus the store hit rate over the window.
+fn bench(addr: &str, spec: &JobSpec, connections: usize, requests: usize) {
+    let grab = |c: &mut Client, key: &str| -> u64 {
+        c.stats()
+            .ok()
+            .and_then(|v| v.get(key).and_then(Json::as_u64))
+            .unwrap_or_else(|| die("stats op failed"))
+    };
+    let mut c = connect(addr);
+    let (hits0, miss0, exec0) =
+        (grab(&mut c, "store_hits"), grab(&mut c, "store_misses"), grab(&mut c, "jobs_executed"));
+    eprintln!(
+        "# bench: {connections} connections x {requests} `run` requests, spec {}",
+        spec_to_wire(spec)
+    );
+    let start = std::time::Instant::now();
+    let results: Vec<(usize, bool)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut c = connect(addr);
+                    let mut ok = 0usize;
+                    let mut identical = true;
+                    let mut first: Option<String> = None;
+                    for _ in 0..requests {
+                        match c.run(spec) {
+                            Ok(doc) if !doc.contains("\"ok\":false") => {
+                                ok += 1;
+                                identical &= first.get_or_insert_with(|| doc.clone()) == &doc;
+                            }
+                            _ => identical = false,
+                        }
+                    }
+                    (ok, identical)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench thread")).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let ok: usize = results.iter().map(|(n, _)| n).sum();
+    let all_identical = results.iter().all(|&(_, i)| i);
+    let (hits1, miss1, exec1) =
+        (grab(&mut c, "store_hits"), grab(&mut c, "store_misses"), grab(&mut c, "jobs_executed"));
+    let (dh, dm) = (hits1 - hits0, miss1 - miss0);
+    let lookups = (dh + dm).max(1);
+    println!(
+        "bench: {ok}/{} responses in {elapsed:.3}s ({:.1} resp/s), \
+         {} simulations executed, store hit rate {:.1}% ({dh}/{lookups}), \
+         responses identical: {all_identical}",
+        connections * requests,
+        ok as f64 / elapsed.max(1e-9),
+        exec1 - exec0,
+        dh as f64 * 100.0 / lookups as f64,
+    );
+    if ok != connections * requests || !all_identical {
+        std::process::exit(1);
+    }
+}

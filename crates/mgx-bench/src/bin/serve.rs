@@ -1,0 +1,86 @@
+//! The `mgx-serve` daemon binary.
+//!
+//! ```text
+//! cargo run -p mgx-bench --release --bin serve -- --addr 127.0.0.1:7070 \
+//!     --workers 4 --queue 64 --store /tmp/mgx-store
+//! ```
+//!
+//! Speaks the line-JSON protocol documented in `mgx_serve::server`; drive
+//! it with the `mgx-client` binary. Shut it down gracefully with the
+//! `shutdown` protocol op (`mgx-client ... shutdown`) or, when `--store`
+//! is set, by creating a `shutdown` file in the store directory (the
+//! std-only stand-in for SIGTERM — the accept loop polls for it).
+
+use mgx_serve::{SchedulerConfig, ServerConfig, StoreConfig};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--mem-entries N] [--store DIR]\n\
+         \n\
+         --addr        bind address (default 127.0.0.1:7070; port 0 = auto)\n\
+         --workers     job-executor threads (default 2)\n\
+         --queue       queued-job bound before submits block (default 64)\n\
+         --mem-entries memory-tier capacity in results (default 256)\n\
+         --store       directory for the persistent result tier (optional)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7070".into(),
+        scheduler: SchedulerConfig::default(),
+        store: StoreConfig::default(),
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => {
+                cfg.scheduler.workers = value("--workers").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue" => {
+                cfg.scheduler.queue_capacity = value("--queue").parse().unwrap_or_else(|_| usage())
+            }
+            "--mem-entries" => {
+                cfg.store.mem_entries = value("--mem-entries").parse().unwrap_or_else(|_| usage())
+            }
+            "--store" => cfg.store.disk = Some(PathBuf::from(value("--store"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let store_label =
+        cfg.store.disk.as_deref().map(|p| p.display().to_string()).unwrap_or("memory-only".into());
+    let workers = cfg.scheduler.workers;
+    let queue = cfg.scheduler.queue_capacity;
+    // Spawn (rather than run) so the *resolved* address is printable even
+    // with `--addr 127.0.0.1:0`.
+    let handle = match mgx_serve::spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "# mgx-serve listening on {} ({workers} workers, queue {queue}, store {store_label})",
+        handle.addr
+    );
+    if let Err(e) = handle.join() {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# mgx-serve drained and exited cleanly");
+}

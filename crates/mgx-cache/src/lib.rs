@@ -93,14 +93,36 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit rate in [0, 1]; zero for an untouched cache.
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; zero for an untouched cache (never NaN).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        ratio(self.hits, self.accesses())
+    }
+
+    /// Miss rate in [0, 1]; zero for an untouched cache (never NaN).
+    pub fn miss_rate(&self) -> f64 {
+        ratio(self.misses, self.accesses())
+    }
+
+    /// Dirty write-backs per access in [0, 1]; zero for an untouched
+    /// cache (never NaN). An access induces at most one write-back.
+    pub fn writeback_rate(&self) -> f64 {
+        ratio(self.writebacks, self.accesses())
+    }
+}
+
+/// `num / den` with the zero-denominator case pinned to 0.0 — every ratio
+/// accessor on [`CacheStats`] routes through this so an untouched cache
+/// can never leak a NaN into a report.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
     }
 }
 
@@ -341,6 +363,60 @@ mod tests {
         c.access(0, AccessKind::Read);
         c.access(0, AccessKind::Read);
         assert!((c.stats().hit_rate() - 0.75).abs() < 1e-9);
+        assert!((c.stats().miss_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_accessors_are_zero_not_nan_for_an_untouched_cache() {
+        let stats = small().stats();
+        assert_eq!(stats.accesses(), 0);
+        for (name, v) in [
+            ("hit_rate", stats.hit_rate()),
+            ("miss_rate", stats.miss_rate()),
+            ("writeback_rate", stats.writeback_rate()),
+        ] {
+            assert_eq!(v, 0.0, "{name} must guard the zero-access division");
+            assert!(!v.is_nan(), "{name} must never be NaN");
+        }
+    }
+
+    #[test]
+    fn rates_partition_and_writebacks_count() {
+        let mut c = small();
+        // Two dirty lines in set 0, then two reads evicting both.
+        c.access(0x000, AccessKind::Write);
+        c.access(0x100, AccessKind::Write);
+        c.access(0x200, AccessKind::Read);
+        c.access(0x300, AccessKind::Read);
+        let s = c.stats();
+        assert!((s.hit_rate() + s.miss_rate() - 1.0).abs() < 1e-12);
+        assert!((s.writeback_rate() - 0.5).abs() < 1e-9, "2 write-backs over 4 accesses");
+    }
+
+    #[test]
+    fn eviction_order_follows_lru_exactly() {
+        // Pins `CacheSim::access`'s victim selection end to end in a
+        // 2-way set: (1) invalid ways fill before anything is evicted,
+        // (2) the victim is always the least-recently-*used* way — touch
+        // order, not fill order — and (3) each eviction's write-back
+        // address identifies the victim exactly.
+        let mut c = small();
+        // Fill both ways of set 0 (no eviction possible yet).
+        assert_eq!(c.access(0x000, AccessKind::Write).writeback, None);
+        assert_eq!(c.access(0x100, AccessKind::Write).writeback, None);
+        assert_eq!(c.stats().writebacks, 0, "cold fills must not evict");
+        // Touch 0x000: now 0x100 is the LRU way even though it was filled
+        // more recently.
+        c.access(0x000, AccessKind::Read);
+        let out = c.access(0x200, AccessKind::Write);
+        assert_eq!(out.writeback, Some(0x100), "victim is least-recently-used, not oldest-filled");
+        // LRU order is now 0x000 < 0x200; the next two fills must evict
+        // in exactly that order.
+        let out = c.access(0x300, AccessKind::Read);
+        assert_eq!(out.writeback, Some(0x000));
+        let out = c.access(0x400, AccessKind::Read);
+        assert_eq!(out.writeback, Some(0x200));
+        assert!(c.probe(0x300) && c.probe(0x400));
     }
 
     #[test]

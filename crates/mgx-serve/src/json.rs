@@ -1,0 +1,415 @@
+//! A minimal JSON reader/writer for the service protocol.
+//!
+//! The build environment is offline (no `serde`), and the protocol needs
+//! very little: parse request envelopes and job specs, and render response
+//! envelopes. Two properties matter more than speed:
+//!
+//! * **Exact numbers**: [`Json::Num`] keeps the source lexeme as a string,
+//!   so `u64` values beyond 2^53 (e.g. `exec_ns_bits`, IEEE-754 bit
+//!   patterns) survive a parse→read round trip without ever touching an
+//!   `f64`.
+//! * **Deterministic rendering**: objects preserve insertion order and
+//!   strings escape minimally, so rendering the same value twice yields
+//!   the same bytes.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source lexeme (exact round trip).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document, requiring it to span the whole input
+    /// (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned integer, if this is a non-negative integer literal.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Exact `usize`, via [`Json::as_u64`].
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// Lossy float view of a number literal.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Renders back to compact JSON (numbers verbatim, insertion order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escapes a string body for embedding between JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while pos_digit(b, *pos) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(Json::Num(String::from_utf8_lossy(&b[start..*pos]).into_owned()))
+}
+
+fn pos_digit(b: &[u8], pos: usize) -> bool {
+    b.get(pos).is_some_and(u8::is_ascii_digit)
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::<u8>::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect `\uXXXX` low half.
+                            if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u') {
+                                let lo = parse_hex4(b, *pos + 3)?;
+                                *pos += 6;
+                                0x10000 + (((hi - 0xD800) as u32) << 10) + (lo - 0xDC00) as u32
+                            } else {
+                                return Err("lone high surrogate".into());
+                            }
+                        } else {
+                            hi as u32
+                        };
+                        let c = char::from_u32(code).ok_or("invalid \\u escape")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: usize) -> Result<u16, String> {
+    if pos + 4 > b.len() {
+        return Err("truncated \\u escape".into());
+    }
+    let s = std::str::from_utf8(&b[pos..pos + 4]).map_err(|_| "bad \\u escape")?;
+    u16::from_str_radix(s, 16).map_err(|_| "bad \\u escape".into())
+}
+
+/// Builds a response envelope object from `(key, value)` pairs.
+pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// A number value from any displayable integer.
+pub fn num(n: impl std::fmt::Display) -> Json {
+    Json::Num(n.to_string())
+}
+
+/// A string value.
+pub fn str(s: impl Into<String>) -> Json {
+    Json::Str(s.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("[1,2,3]").unwrap().as_arr().unwrap().len(), 3);
+        let o = Json::parse(r#"{"a":1,"b":{"c":[false,"x"]}}"#).unwrap();
+        assert_eq!(o.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(o.get("b").unwrap().get("c").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        // 2^63 + 3 is not representable in f64; the lexeme must survive.
+        let big = "9223372036854775811";
+        let v = Json::parse(big).unwrap();
+        assert_eq!(v.as_u64(), Some(9223372036854775811));
+        assert_eq!(v.render(), big);
+        let float = Json::parse("-12.5e-3").unwrap();
+        assert!((float.as_f64().unwrap() + 0.0125).abs() < 1e-12);
+        assert_eq!(float.render(), "-12.5e-3");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Json::parse(r#""a\"b\\c\nd\u0041\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAé"));
+        let rendered = Json::Str("x\"y\\z\n\u{1}".into()).render();
+        assert_eq!(rendered, r#""x\"y\\z\n\u0001""#);
+        assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some("x\"y\\z\n\u{1}"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\"}", "tru", "1 2", "{\"a\":}", "\"\\q\""] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn object_order_is_preserved_on_render() {
+        let src = r#"{"z":1,"a":2,"m":[{"k":3}]}"#;
+        assert_eq!(Json::parse(src).unwrap().render(), src);
+    }
+
+    #[test]
+    fn envelope_builder_renders_compactly() {
+        let env = obj(vec![("ok", Json::Bool(true)), ("job", str("abc")), ("n", num(7u64))]);
+        assert_eq!(env.render(), r#"{"ok":true,"job":"abc","n":7}"#);
+    }
+}

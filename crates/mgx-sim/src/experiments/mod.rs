@@ -104,6 +104,55 @@ fn collect_rows(evals: &[Evaluated], schemes: &[Scheme]) -> Vec<Row> {
     evals.iter().flat_map(|e| e.rows(schemes)).collect()
 }
 
+/// Every printable output of the `figures` binary, with the one-line
+/// description its `--list` flag shows. The single source of truth for
+/// figure ids — the `figures` binary validates against it and
+/// `mgx-client render` resolves ids through [`suite_figures`], which must
+/// stay a subset of it (a unit test pins that).
+pub const FIGURE_CATALOG: &[(&str, &str)] = &[
+    ("fig3", "Traffic overhead of traditional protection, MAC vs VN breakdown (all workloads)"),
+    ("fig12a", "DNN inference memory-traffic increase, MGX vs BP (Cloud & Edge)"),
+    ("fig12b", "DNN training memory-traffic increase, MGX vs BP (Cloud & Edge)"),
+    ("fig13a", "DNN inference normalized execution time (MGX, MGX_VN, MGX_MAC, BP)"),
+    ("fig13b", "DNN training normalized execution time (MGX, MGX_VN, MGX_MAC, BP)"),
+    ("fig14a", "Graph memory-traffic increase, PR & BFS (MGX vs BP)"),
+    ("fig14b", "Graph normalized execution time, PR & BFS"),
+    ("fig16", "GACT genome-alignment normalized execution time (MGX_VN vs BP)"),
+    ("h264", "H.264 decode overhead table (video case study)"),
+    ("pruning", "Compressed-format sizes and dynamic-pruning traffic factor (Section VII-B)"),
+    (
+        "ablations",
+        "Sensitivity sweeps: cache size, MAC granularity, tree arity, channels, dataflow",
+    ),
+    ("summary", "Headline paper-claim vs measured comparison table"),
+    ("all", "Everything above"),
+];
+
+/// A figure derivable from exactly one suite's five-scheme sweep: its id,
+/// the [`Suite`] that feeds it, and the builder that turns the sweep into
+/// the [`Figure`]. Composite outputs (`fig3`, `summary`, `pruning`,
+/// `ablations`) need more than one sweep and are not listed here.
+///
+/// [`Suite`]: crate::job::Suite
+pub type SuiteFigure = (&'static str, crate::job::Suite, fn(&[Evaluated]) -> Figure);
+
+/// The per-suite figure registry shared by the `figures` binary and
+/// `mgx-client render`, so both resolve an id to the *same* suite and
+/// builder and their JSON lines diff clean against each other.
+pub fn suite_figures() -> Vec<SuiteFigure> {
+    use crate::job::Suite;
+    vec![
+        ("fig12a", Suite::DnnInference, |e| dnn::fig12(e, false)),
+        ("fig12b", Suite::DnnTraining, |e| dnn::fig12(e, true)),
+        ("fig13a", Suite::DnnInference, |e| dnn::fig13(e, false)),
+        ("fig13b", Suite::DnnTraining, |e| dnn::fig13(e, true)),
+        ("fig14a", Suite::Graph, graph::fig14a),
+        ("fig14b", Suite::Graph, graph::fig14b),
+        ("fig16", Suite::Genome, genome::fig16),
+        ("h264", Suite::Video, video::fig_h264),
+    ]
+}
+
 /// Fig 3: memory-traffic overhead breakdown (MAC vs VN) of the traditional
 /// protection scheme across all 23 workloads.
 pub fn fig3(
@@ -314,6 +363,20 @@ mod tests {
     #[should_panic(expected = "partial sweep")]
     fn new_rejects_a_partial_sweep() {
         Evaluated::new("w", "", vec![stub(Scheme::NoProtection), stub(Scheme::Mgx)]);
+    }
+
+    #[test]
+    fn suite_figures_stay_a_subset_of_the_catalog() {
+        for (id, _, _) in suite_figures() {
+            assert!(
+                FIGURE_CATALOG.iter().any(|(known, _)| *known == id),
+                "suite figure `{id}` missing from FIGURE_CATALOG"
+            );
+        }
+        let ids: Vec<&str> = FIGURE_CATALOG.iter().map(|(id, _)| *id).collect();
+        let mut deduped = ids.clone();
+        deduped.dedup();
+        assert_eq!(ids, deduped, "catalog ids must be unique");
     }
 
     #[test]

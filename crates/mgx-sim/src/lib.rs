@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod job;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
