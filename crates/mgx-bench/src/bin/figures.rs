@@ -15,7 +15,10 @@
 //! serial run, only wall-clock changes. `--store DIR` routes every suite
 //! sweep through the same content-addressed result store the `serve`
 //! daemon uses: a repeated figure run (same scale, same simulator build)
-//! reloads its sweeps from `DIR` instead of re-simulating.
+//! reloads its sweeps from `DIR` instead of re-simulating. `--fast-forward`
+//! runs every suite on the phase-memoizing `TxnPath::FastForward` path
+//! (bypassing the store) and reports per-suite hit rates on stderr; the
+//! figures on stdout are byte-identical to a run without the flag.
 
 use mgx_core::MetaTraffic;
 use mgx_serve::codec::evaluated_from_json;
@@ -24,7 +27,7 @@ use mgx_sim::experiments::{
     self, dnn, genome, graph, sensitivity, video, Evaluated, FIGURE_CATALOG,
 };
 use mgx_sim::job::{JobSpec, Suite};
-use mgx_sim::{render, render_json, Figure, Scale};
+use mgx_sim::{render, render_json, Figure, Scale, TxnPath};
 use std::path::PathBuf;
 
 fn wants(args: &[String], id: &str) -> bool {
@@ -86,8 +89,26 @@ fn suite_evals(
     scale: &Scale,
     threads: usize,
     store: Option<&ResultStore>,
+    fast_forward: bool,
 ) -> Vec<Evaluated> {
     let spec = JobSpec::suite_sweep(suite, *scale, threads);
+    if fast_forward {
+        // The memoizing path is bit-identical to the burst path, so the
+        // store *could* cache it too — but the point of `--fast-forward` is
+        // to measure the in-run memoization, so it bypasses the store and
+        // reports its hit rate instead.
+        let (evals, ff) = spec.execute_path(TxnPath::FastForward);
+        eprintln!(
+            "# {}: fast-forward {:.1}% hit rate ({} hits / {} phases, {} classes, {} fallbacks)",
+            suite.name(),
+            ff.hit_rate() * 100.0,
+            ff.hits,
+            ff.phases(),
+            ff.recorded,
+            ff.fallbacks
+        );
+        return evals;
+    }
     let Some(store) = store else { return spec.execute() };
     let digest = spec.digest();
     if let Some(doc) = store.get(digest) {
@@ -124,6 +145,7 @@ fn main() {
     let store = store.as_ref();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let fast_forward = args.iter().any(|a| a == "--fast-forward");
     let scale = if quick { Scale::quick() } else { Scale::standard() };
     let print = |fig: &Figure| {
         if json {
@@ -150,7 +172,7 @@ fn main() {
 
     let dnn_inf: Vec<Evaluated> = if need_dnn_inf {
         eprintln!("# simulating DNN inference suite…");
-        let e = suite_evals(Suite::DnnInference, &scale, threads, store);
+        let e = suite_evals(Suite::DnnInference, &scale, threads, store, fast_forward);
         log_volume("DNN inference", &e);
         e
     } else {
@@ -158,7 +180,7 @@ fn main() {
     };
     let dnn_train: Vec<Evaluated> = if need_dnn_train {
         eprintln!("# simulating DNN training suite…");
-        let e = suite_evals(Suite::DnnTraining, &scale, threads, store);
+        let e = suite_evals(Suite::DnnTraining, &scale, threads, store, fast_forward);
         log_volume("DNN training", &e);
         e
     } else {
@@ -166,7 +188,7 @@ fn main() {
     };
     let graphs: Vec<Evaluated> = if need_graph {
         eprintln!("# simulating graph suite…");
-        let e = suite_evals(Suite::Graph, &scale, threads, store);
+        let e = suite_evals(Suite::Graph, &scale, threads, store, fast_forward);
         log_volume("graph", &e);
         e
     } else {
@@ -196,11 +218,11 @@ fn main() {
     }
     if wants(&args, "fig16") {
         eprintln!("# simulating GACT suite…");
-        let g = suite_evals(Suite::Genome, &scale, threads, store);
+        let g = suite_evals(Suite::Genome, &scale, threads, store, fast_forward);
         print(&genome::fig16(&g));
     }
     if wants(&args, "h264") {
-        let v = suite_evals(Suite::Video, &scale, threads, store);
+        let v = suite_evals(Suite::Video, &scale, threads, store, fast_forward);
         print(&video::fig_h264(&v));
     }
     if wants(&args, "pruning") {

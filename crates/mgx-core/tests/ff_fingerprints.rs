@@ -1,0 +1,284 @@
+//! Fingerprint-soundness tests for the fast-forward layer (engine side).
+//!
+//! Two properties hold the whole memoization scheme up:
+//!
+//! 1. **Equal fingerprints ⇒ equal deltas**: whenever two engine states
+//!    report the same `ff_digest`, running the same phase from either state
+//!    emits the identical transaction stream and traffic delta.
+//! 2. **Every microstate component is visible**: mutating any single piece
+//!    of behavioral state (cache contents, dirty bits, LRU order, coalescer
+//!    window, tile counters, minor counters) alone changes the digest.
+//!
+//! Replay correctness (jump-to-post + counter rebase) is checked by
+//! continuing execution after an `ff_replay` and demanding bit-equality
+//! with a live twin.
+
+use mgx_core::engine::{NoProtection, SplitCounterEngine};
+use mgx_core::{scheme_engine, LineTxn, MetaTraffic, ProtectionEngine, Scheme};
+use mgx_core::{MacGranularity, ProtectionConfig};
+use mgx_trace::{DataClass, MemRequest, RegionId, RegionMap};
+use std::collections::HashMap;
+
+fn regions() -> RegionMap {
+    let mut m = RegionMap::new();
+    m.alloc("features", 8 << 20, DataClass::Feature);
+    m.alloc("adjacency", 8 << 20, DataClass::Adjacency);
+    m
+}
+
+fn engine_for(scheme: Scheme) -> Box<dyn ProtectionEngine> {
+    scheme_engine(scheme, &regions(), &ProtectionConfig::default())
+}
+
+/// Runs `reqs` through the engine, returning the emitted transactions and
+/// the traffic delta.
+fn run_phase(
+    engine: &mut (impl ProtectionEngine + ?Sized),
+    reqs: &[MemRequest],
+) -> (Vec<LineTxn>, MetaTraffic) {
+    let before = engine.traffic();
+    let mut txns = Vec::new();
+    for req in reqs {
+        engine.expand(req, &mut |t| txns.push(t));
+    }
+    (txns, engine.traffic() - before)
+}
+
+/// A ping-pong double-buffer pattern: the engine state repeats with period
+/// two, so digests recur and the equal-digest ⇒ equal-delta property gets
+/// exercised on real repetitions.
+fn ping_pong_phases(region: RegionId, base: u64) -> [Vec<MemRequest>; 2] {
+    let phase = |buf_base: u64| -> Vec<MemRequest> {
+        (0..8u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    MemRequest::read(region, buf_base + i * 4096, 4096)
+                } else {
+                    MemRequest::write(region, buf_base + i * 4096, 4096)
+                }
+            })
+            .collect()
+    };
+    [phase(base), phase(base + (1 << 20))]
+}
+
+#[test]
+fn equal_fingerprints_imply_equal_deltas() {
+    let region = RegionId(0);
+    for scheme in Scheme::ALL {
+        let mut engine = engine_for(scheme);
+        let phases = ping_pong_phases(region, 0);
+        // Map (phase id, pre-digest) → (emissions, delta) and demand every
+        // recurrence matches the first sighting exactly.
+        let mut seen: HashMap<(usize, u64), (Vec<LineTxn>, MetaTraffic)> = HashMap::new();
+        let mut repeats = 0;
+        for rep in 0..8 {
+            for (pid, phase) in phases.iter().enumerate() {
+                let digest = engine.ff_digest().expect("all shipped engines support ff");
+                let (txns, delta) = run_phase(engine.as_mut(), phase);
+                match seen.get(&(pid, digest)) {
+                    None => {
+                        seen.insert((pid, digest), (txns, delta));
+                    }
+                    Some((txns0, delta0)) => {
+                        repeats += 1;
+                        assert_eq!(
+                            &txns, txns0,
+                            "{scheme:?} rep {rep} phase {pid}: same digest, different stream"
+                        );
+                        assert_eq!(
+                            &delta, delta0,
+                            "{scheme:?} rep {rep} phase {pid}: same digest, different delta"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(repeats >= 8, "{scheme:?}: ping-pong must actually repeat states ({repeats})");
+    }
+}
+
+#[test]
+fn replay_then_continue_matches_live_execution() {
+    let region = RegionId(0);
+    for scheme in Scheme::ALL {
+        let mut live = engine_for(scheme);
+        let mut twin = engine_for(scheme);
+        let [warm, probe] = ping_pong_phases(region, 0);
+
+        // Identical warmup → identical state.
+        run_phase(live.as_mut(), &warm);
+        run_phase(twin.as_mut(), &warm);
+        assert_eq!(live.ff_digest(), twin.ff_digest(), "{scheme:?}: warmup diverged");
+
+        // Record the probe phase on the live engine.
+        let pre = live.ff_snapshot().expect("snapshot");
+        let (_, live_delta) = run_phase(live.as_mut(), &probe);
+        let post = live.ff_snapshot().expect("snapshot");
+
+        // Replay it on the twin.
+        let twin_before = twin.traffic();
+        twin.ff_replay(pre.as_ref(), post.as_ref());
+        assert_eq!(twin.traffic() - twin_before, live_delta, "{scheme:?}: replayed delta");
+        assert_eq!(twin.traffic(), live.traffic(), "{scheme:?}: cumulative traffic");
+        assert_eq!(twin.ff_digest(), live.ff_digest(), "{scheme:?}: post-replay microstate");
+
+        // The jumped-to state must behave identically from here on.
+        let (live_txns, live_next) = run_phase(live.as_mut(), &warm);
+        let (twin_txns, twin_next) = run_phase(twin.as_mut(), &warm);
+        assert_eq!(live_txns, twin_txns, "{scheme:?}: post-replay stream");
+        assert_eq!(live_next, twin_next, "{scheme:?}: post-replay delta");
+    }
+}
+
+#[test]
+fn replay_rebases_counters_on_top_of_existing_totals() {
+    // The twin has *extra* history before reaching the recorded state — the
+    // replayed delta must add to its totals, not overwrite them.
+    let region = RegionId(0);
+    let mut live = engine_for(Scheme::Baseline);
+    let mut twin = engine_for(Scheme::Baseline);
+    let [warm, probe] = ping_pong_phases(region, 0);
+
+    // Drive both into the ping-pong steady state, giving the twin one extra
+    // full period: same microstate, more accumulated traffic.
+    for _ in 0..3 {
+        run_phase(live.as_mut(), &warm);
+        run_phase(live.as_mut(), &probe);
+    }
+    run_phase(live.as_mut(), &warm);
+    for _ in 0..4 {
+        run_phase(twin.as_mut(), &warm);
+        run_phase(twin.as_mut(), &probe);
+    }
+    run_phase(twin.as_mut(), &warm);
+    assert_eq!(live.ff_digest(), twin.ff_digest(), "period-2 state must recur");
+    assert_ne!(live.traffic(), twin.traffic(), "twin carries extra history");
+    let extra = twin.traffic() - live.traffic();
+
+    let pre = live.ff_snapshot().unwrap();
+    let (_, delta) = run_phase(live.as_mut(), &probe);
+    let post = live.ff_snapshot().unwrap();
+
+    let before = twin.traffic();
+    twin.ff_replay(pre.as_ref(), post.as_ref());
+    assert_eq!(twin.traffic() - before, delta, "delta applied on top of twin totals");
+    assert_eq!(twin.traffic(), live.traffic() + extra, "totals = own history + delta");
+}
+
+#[test]
+fn np_fingerprint_is_state_independent() {
+    let mut e = NoProtection::new();
+    let d0 = e.ff_digest();
+    e.expand(&MemRequest::write(RegionId(0), 0, 4096), &mut |_| {});
+    assert_eq!(e.ff_digest(), d0, "NP has no behavioral microstate");
+}
+
+#[test]
+fn cache_content_changes_bp_fingerprint() {
+    let mut e = engine_for(Scheme::Baseline);
+    let d0 = e.ff_digest().unwrap();
+    e.expand(&MemRequest::read(RegionId(0), 0, 64), &mut |_| {});
+    let d1 = e.ff_digest().unwrap();
+    assert_ne!(d0, d1, "a cache fill must change the fingerprint");
+    // Touching a *different* address leads to a different content digest.
+    let mut f = engine_for(Scheme::Baseline);
+    f.expand(&MemRequest::read(RegionId(0), 1 << 20, 64), &mut |_| {});
+    assert_ne!(d1, f.ff_digest().unwrap(), "different cached tags, different fingerprint");
+}
+
+#[test]
+fn dirty_bits_change_bp_fingerprint() {
+    // Same metadata lines end up cached either way; only the dirty bits
+    // (and write-path traffic) differ.
+    let mut rd = engine_for(Scheme::Baseline);
+    let mut wr = engine_for(Scheme::Baseline);
+    rd.expand(&MemRequest::read(RegionId(0), 0, 64), &mut |_| {});
+    wr.expand(&MemRequest::write(RegionId(0), 0, 64), &mut |_| {});
+    assert_ne!(rd.ff_digest(), wr.ff_digest(), "dirty bits are behavioral state");
+}
+
+#[test]
+fn lru_order_changes_bp_fingerprint() {
+    // Same set of cached lines, accessed in opposite orders: only the LRU
+    // recency ranks differ, and a future eviction would pick different
+    // victims — the fingerprint must see it.
+    let a = MemRequest::read(RegionId(0), 0, 64);
+    let b = MemRequest::read(RegionId(0), 1 << 20, 64);
+    let mut ab = engine_for(Scheme::Baseline);
+    let mut ba = engine_for(Scheme::Baseline);
+    ab.expand(&a, &mut |_| {});
+    ab.expand(&b, &mut |_| {});
+    ba.expand(&b, &mut |_| {});
+    ba.expand(&a, &mut |_| {});
+    assert_ne!(ab.ff_digest(), ba.ff_digest(), "LRU order is behavioral state");
+}
+
+#[test]
+fn coalescer_window_changes_mgx_fingerprint() {
+    let mut e = engine_for(Scheme::Mgx);
+    let d0 = e.ff_digest().unwrap();
+    e.expand(&MemRequest::read(RegionId(0), 0, 4096), &mut |_| {});
+    let d1 = e.ff_digest().unwrap();
+    assert_ne!(d0, d1, "remembered MAC line must change the fingerprint");
+    // Same line, flipped direction: the (line, dir) pair is the dedupe key.
+    let mut f = engine_for(Scheme::Mgx);
+    f.expand(&MemRequest::write(RegionId(0), 0, 4096), &mut |_| {});
+    assert_ne!(d1, f.ff_digest().unwrap(), "direction is part of the coalescer window");
+}
+
+#[test]
+fn tile_counter_changes_mgx_fingerprint() {
+    // Region 1 is Adjacency → PerRequest MACs: every request bumps the tile
+    // counter even when the emitted MAC line coalesces away, so states
+    // never repeat and such phases always fall back to full simulation.
+    let mut e = engine_for(Scheme::Mgx);
+    e.expand(&MemRequest::read(RegionId(1), 0, 64), &mut |_| {});
+    let d1 = e.ff_digest().unwrap();
+    e.expand(&MemRequest::read(RegionId(1), 0, 64), &mut |_| {});
+    let d2 = e.ff_digest().unwrap();
+    assert_ne!(d1, d2, "tile counter must advance the fingerprint");
+    let cfg = ProtectionConfig::default();
+    assert_eq!(cfg.granularity_for(DataClass::Adjacency), MacGranularity::PerRequest);
+}
+
+#[test]
+fn minor_counters_change_split_counter_fingerprint() {
+    // Two identical writes to one address: the cached VN/MAC lines are
+    // already resident and MRU after the first, so the cache digest is
+    // unchanged — only the minor counter (1 → 2) separates the states.
+    let cfg = ProtectionConfig::default();
+    let mut e = SplitCounterEngine::new(&cfg);
+    e.expand(&MemRequest::write(RegionId(0), 0, 64), &mut |_| {});
+    let d1 = e.ff_digest().unwrap();
+    e.expand(&MemRequest::write(RegionId(0), 0, 64), &mut |_| {});
+    let d2 = e.ff_digest().unwrap();
+    assert_ne!(d1, d2, "minor counters are behavioral state");
+}
+
+#[test]
+fn split_counter_replay_rebases_overflows() {
+    use mgx_core::engine::MINOR_LIMIT;
+    let cfg = ProtectionConfig::default();
+    let mut live = SplitCounterEngine::new(&cfg);
+    // Drive right up to the overflow threshold, snapshot, then cross it.
+    for _ in 0..MINOR_LIMIT - 1 {
+        live.expand(&MemRequest::write(RegionId(0), 0, 64), &mut |_| {});
+    }
+    let pre = live.ff_snapshot().unwrap();
+    let pre_digest = live.ff_digest().unwrap();
+    live.expand(&MemRequest::write(RegionId(0), 0, 64), &mut |_| {});
+    assert_eq!(live.overflows, 1, "threshold write must overflow");
+    let post = live.ff_snapshot().unwrap();
+
+    // Twin reaches the same pre-state, then replays the overflow write.
+    let mut twin = SplitCounterEngine::new(&cfg);
+    for _ in 0..MINOR_LIMIT - 1 {
+        twin.expand(&MemRequest::write(RegionId(0), 0, 64), &mut |_| {});
+    }
+    assert_eq!(twin.ff_digest().unwrap(), pre_digest);
+    twin.ff_replay(pre.as_ref(), post.as_ref());
+    assert_eq!(twin.overflows, 1, "overflow count must ride the replayed delta");
+    assert_eq!(twin.traffic(), live.traffic());
+    assert_eq!(twin.ff_digest(), live.ff_digest());
+}

@@ -14,6 +14,12 @@
 
 use std::fmt::Write as _;
 
+/// Maximum container nesting the parser accepts. The parser is recursive,
+/// so without a cap a line of `[[[[…` from an untrusted client would
+/// overflow the stack (an abort, not a catchable error). 128 is far deeper
+/// than any protocol envelope while keeping worst-case stack use trivial.
+pub const MAX_DEPTH: usize = 128;
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -37,7 +43,7 @@ impl Json {
     pub fn parse(input: &str) -> Result<Json, String> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
+        let v = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing garbage at byte {pos}"));
@@ -177,8 +183,11 @@ fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(b, pos);
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH}"));
+    }
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
         Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
@@ -194,7 +203,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(b, pos)?);
+                items.push(parse_value(b, pos, depth + 1)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -219,7 +228,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, ":")?;
-                let value = parse_value(b, pos)?;
+                let value = parse_value(b, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(b, pos);
                 match b.get(*pos) {
@@ -305,6 +314,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                             // Surrogate pair: expect `\uXXXX` low half.
                             if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u') {
                                 let lo = parse_hex4(b, *pos + 3)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("high surrogate without low surrogate".into());
+                                }
                                 *pos += 6;
                                 0x10000 + (((hi - 0xD800) as u32) << 10) + (lo - 0xDC00) as u32
                             } else {
@@ -392,6 +404,10 @@ mod tests {
         let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
         assert_eq!(v.as_str(), Some("😀"));
         assert!(Json::parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+        // A high surrogate chased by a non-low `\u` escape must error, not
+        // underflow the pair arithmetic (found by tests/json_fuzz.rs).
+        assert!(Json::parse(r#""\ud83dA""#).is_err(), "bad low half rejected");
+        assert!(Json::parse(r#""\ud83d\u0041""#).is_err(), "non-surrogate low half rejected");
     }
 
     #[test]
@@ -399,6 +415,18 @@ mod tests {
         for bad in ["{", "[1,", "{\"a\"}", "tru", "1 2", "{\"a\":}", "\"\\q\""] {
             assert!(Json::parse(bad).is_err(), "`{bad}` should fail");
         }
+    }
+
+    #[test]
+    fn nesting_is_capped_not_stack_overflowed() {
+        // One past the cap fails cleanly; at the cap still parses.
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&too_deep).unwrap_err().contains("nesting"));
+        // A pathological unclosed ramp must error, not abort the process.
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+        assert!(Json::parse(&"{\"k\":".repeat(100_000)).is_err());
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl ResultStore {
     /// `*.tmp-*` leftovers from interrupted writes.
     ///
     /// Only *stale* temp files are removed (older than
-    /// [`TMP_SWEEP_AGE`]): several processes may share one store
+    /// `TMP_SWEEP_AGE`): several processes may share one store
     /// directory (a `serve` daemon plus `figures --store`, as the docs
     /// endorse), and a fresh temp file may be another process's write in
     /// flight between `create` and `rename`. A genuinely orphaned temp

@@ -1,0 +1,193 @@
+//! Fuzz-style property tests for the service's JSON layer: whatever bytes
+//! a client throws at [`Json::parse`], the parser must return `Ok`/`Err` —
+//! never panic, never overflow the stack — and every *valid* document must
+//! survive a parse→render round trip lexeme-exactly (numbers verbatim,
+//! object order preserved).
+
+use mgx_serve::json::{self, Json, MAX_DEPTH};
+use proptest::prelude::*;
+
+/// Random text biased towards JSON punctuation so the generator actually
+/// explores parser states instead of failing on byte one.
+fn jsonish(seeds: &[u64]) -> String {
+    const ALPHABET: &[&str] = &[
+        "{",
+        "}",
+        "[",
+        "]",
+        ",",
+        ":",
+        "\"",
+        "\\",
+        "-",
+        ".",
+        "e",
+        "E",
+        "+",
+        "0",
+        "7",
+        "null",
+        "true",
+        "false",
+        " ",
+        "\t",
+        "\n",
+        "\\u",
+        "\\ud83d",
+        "\\q",
+        "1e",
+        "9999999999999999999",
+        "\u{e9}",
+        "\u{1f600}",
+        "\0",
+    ];
+    seeds.iter().map(|&s| ALPHABET[(s % ALPHABET.len() as u64) as usize]).collect()
+}
+
+/// Builds a deterministic JSON document from a seed stream — the shim has
+/// no recursive strategies, so the tree is grown by hand. Depth is bounded
+/// by construction; numbers include > 2^53 integers.
+fn build_doc(seeds: &mut impl Iterator<Item = u64>, depth: usize) -> Json {
+    let kind = seeds.next().unwrap_or(0) % if depth >= 4 { 4 } else { 6 };
+    match kind {
+        0 => Json::Null,
+        1 => Json::Bool(seeds.next().unwrap_or(0).is_multiple_of(2)),
+        2 => {
+            let n = seeds.next().unwrap_or(0);
+            match n % 3 {
+                // Integers beyond 2^53: the f64-unrepresentable range.
+                0 => Json::Num(((1u64 << 53) | n).to_string()),
+                1 => Json::Num(format!("-{}", n % 1000)),
+                _ => Json::Num(format!("{}.{}e-{}", n % 100, n % 997, n % 20)),
+            }
+        }
+        3 => {
+            let n = seeds.next().unwrap_or(0);
+            let tricky = [
+                "",
+                "plain",
+                "with \"quotes\"",
+                "back\\slash",
+                "uni\u{e9}\u{1f600}",
+                "ctrl\u{1}\u{1f}",
+                "nl\nand\ttab",
+            ];
+            Json::Str(tricky[(n % tricky.len() as u64) as usize].to_string())
+        }
+        4 => {
+            let len = (seeds.next().unwrap_or(0) % 4) as usize;
+            Json::Arr((0..len).map(|_| build_doc(seeds, depth + 1)).collect())
+        }
+        _ => {
+            let len = (seeds.next().unwrap_or(0) % 4) as usize;
+            Json::Obj((0..len).map(|i| (format!("k{i}"), build_doc(seeds, depth + 1))).collect())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary JSON-ish garbage never panics the parser; when it happens
+    /// to parse, the rendered form re-parses to the same value.
+    #[test]
+    fn malformed_input_never_panics(
+        seeds in proptest::collection::vec(proptest::strategy::any::<u64>(), 0..64),
+    ) {
+        let input = jsonish(&seeds);
+        if let Ok(doc) = Json::parse(&input) {
+            let rendered = doc.render();
+            let reparsed = Json::parse(&rendered);
+            prop_assert_eq!(reparsed.as_ref(), Ok(&doc));
+        }
+    }
+
+    /// Every truncation of a valid document either errors cleanly or (for
+    /// prefixes that happen to be complete, like a shortened number lexeme)
+    /// parses to something that round-trips.
+    #[test]
+    fn truncated_documents_fail_cleanly(
+        seeds in proptest::collection::vec(proptest::strategy::any::<u64>(), 4..48),
+    ) {
+        let mut s = seeds.into_iter();
+        let rendered = build_doc(&mut s, 0).render();
+        for cut in 0..rendered.len() {
+            if !rendered.is_char_boundary(cut) {
+                continue;
+            }
+            if let Ok(doc) = Json::parse(&rendered[..cut]) {
+                let re = doc.render();
+                prop_assert_eq!(re.as_str(), &rendered[..cut]);
+            }
+        }
+    }
+
+    /// Valid documents round-trip lexeme-exactly: render → parse → render
+    /// is a fixpoint, and u64 values above 2^53 come back bit-exact.
+    #[test]
+    fn valid_documents_round_trip_exactly(
+        seeds in proptest::collection::vec(proptest::strategy::any::<u64>(), 4..48),
+        big in (1u64 << 53)..u64::MAX,
+    ) {
+        let mut s = seeds.into_iter();
+        let doc = build_doc(&mut s, 0);
+        let rendered = doc.render();
+        let reparsed = Json::parse(&rendered);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&doc), "reparse of {}", rendered);
+        let again = reparsed.unwrap().render();
+        prop_assert_eq!(again, rendered, "render not a fixpoint");
+        // The exactness property the protocol depends on (exec_ns_bits).
+        let v = json::num(big);
+        prop_assert_eq!(Json::parse(&v.render()).unwrap().as_u64(), Some(big));
+    }
+
+    /// Unicode escape fuzz: `\u` followed by arbitrary hex-ish tails must
+    /// parse or error, never panic — covering truncated escapes, lone and
+    /// paired surrogates, and non-hex garbage.
+    #[test]
+    fn unicode_escape_tails_never_panic(
+        tails in proptest::collection::vec(proptest::strategy::any::<u64>(), 1..8),
+    ) {
+        const TAIL: &[&str] = &["", "0", "004", "0041", "d83d", "dc00", "de00", "xyzw", "ffff",
+            "\\ude00", "\"", "d83d\\ude0"];
+        let mut s = String::from("\"");
+        for t in &tails {
+            s.push_str("\\u");
+            s.push_str(TAIL[(t % TAIL.len() as u64) as usize]);
+        }
+        s.push('"');
+        let _ = Json::parse(&s);
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_fatal() {
+    // Way past MAX_DEPTH: closed, unclosed, and object-flavored ramps all
+    // return Err instead of exhausting the stack.
+    let n = MAX_DEPTH * 100;
+    let closed = format!("{}1{}", "[".repeat(n), "]".repeat(n));
+    assert!(Json::parse(&closed).unwrap_err().contains("nesting"));
+    assert!(Json::parse(&"[".repeat(n)).is_err());
+    let objs = format!("{}1{}", "{\"k\":".repeat(n), "}".repeat(n));
+    assert!(Json::parse(&objs).is_err());
+}
+
+#[test]
+fn known_invalid_escapes_and_documents_error() {
+    for bad in [
+        r#""\q""#,
+        r#""\u12""#,
+        r#""\ud800""#,
+        r#""\udc00\ud800""#,
+        r#""\u""#,
+        "\"unterminated",
+        "[1,2",
+        "{\"a\":1,",
+        "01e",
+        "- 1",
+        "nul",
+        "[]]",
+    ] {
+        assert!(Json::parse(bad).is_err(), "`{bad}` must be rejected");
+    }
+}

@@ -1,7 +1,8 @@
 //! DNN experiments: Figs 3, 12, 13.
 
 use super::Evaluated;
-use crate::pipeline::{SimConfig, Simulation};
+use crate::fastfwd::FastForwardStats;
+use crate::pipeline::{SimConfig, Simulation, TxnPath};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
@@ -17,7 +18,12 @@ pub fn setups() -> Vec<(&'static str, ArrayConfig, SimConfig)> {
     ]
 }
 
-fn evaluate(models: Vec<Model>, training: bool, threads: usize) -> Vec<Evaluated> {
+fn evaluate(
+    models: Vec<Model>,
+    training: bool,
+    threads: usize,
+    path: TxnPath,
+) -> (Vec<Evaluated>, FastForwardStats) {
     // Each (model, setup) sweep is independent: fan them across the pool.
     // Within a worker the five schemes stream down a single pass, so the
     // pool parallelism multiplies, not divides, the sweep concurrency.
@@ -27,20 +33,31 @@ fn evaluate(models: Vec<Model>, training: bool, threads: usize) -> Vec<Evaluated
             setups().into_iter().map(move |(name, acfg, scfg)| (m.clone(), name, acfg, scfg))
         })
         .collect();
-    crate::parallel::map(threads, jobs, |(model, name, acfg, scfg)| {
+    let pairs = crate::parallel::map(threads, jobs, |(model, name, acfg, scfg)| {
         // Phases stream straight from the lowering into the five
         // engines — the trace is never materialized.
-        let results = if training {
+        let scfg = SimConfig { txn_path: path, ..scfg };
+        let sweep = if training {
             Simulation::over(stream_training_trace(&model, &acfg, Dataflow::WeightStationary))
                 .config(scfg)
-                .run_all()
+                .run_all_with_stats()
         } else {
             Simulation::over(stream_inference_trace(&model, &acfg, Dataflow::WeightStationary))
                 .config(scfg)
-                .run_all()
+                .run_all_with_stats()
         };
-        Evaluated::new(model.name, name, results)
-    })
+        let (results, stats) = super::split_sweep(sweep);
+        (Evaluated::new(model.name, name, results), stats)
+    });
+    let mut total = FastForwardStats::default();
+    let evals = pairs
+        .into_iter()
+        .map(|(e, s)| {
+            total += s;
+            e
+        })
+        .collect();
+    (evals, total)
 }
 
 /// Simulates the inference suite (VGG, AlexNet, GoogLeNet, ResNet, BERT,
@@ -52,6 +69,17 @@ pub fn evaluate_inference(scale: &Scale) -> Vec<Evaluated> {
 /// [`evaluate_inference`] with the workloads fanned across `threads` pool
 /// workers (`0` = all cores). Output is identical to the sequential run.
 pub fn evaluate_inference_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
+    evaluate_inference_path(scale, threads, TxnPath::Burst).0
+}
+
+/// [`evaluate_inference_on`] on an explicit [`TxnPath`], returning the
+/// suite's aggregate fast-forward counters next to the (path-independent)
+/// results. Burst and per-line runs report all-zero counters.
+pub fn evaluate_inference_path(
+    scale: &Scale,
+    threads: usize,
+    path: TxnPath,
+) -> (Vec<Evaluated>, FastForwardStats) {
     let mut models = vec![
         Model::vgg16(scale.dnn_batch),
         Model::alexnet(scale.dnn_batch),
@@ -62,7 +90,7 @@ pub fn evaluate_inference_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
     ];
     // DLRM embedding tables must fit the protected capacity at any scale.
     models.truncate(6);
-    evaluate(models, false, threads)
+    evaluate(models, false, threads, path)
 }
 
 /// Simulates the training suite (no DLRM, as in the paper).
@@ -73,6 +101,16 @@ pub fn evaluate_training(scale: &Scale) -> Vec<Evaluated> {
 /// [`evaluate_training`] with the workloads fanned across `threads` pool
 /// workers (`0` = all cores). Output is identical to the sequential run.
 pub fn evaluate_training_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
+    evaluate_training_path(scale, threads, TxnPath::Burst).0
+}
+
+/// [`evaluate_training_on`] on an explicit [`TxnPath`] with aggregate
+/// fast-forward counters (see [`evaluate_inference_path`]).
+pub fn evaluate_training_path(
+    scale: &Scale,
+    threads: usize,
+    path: TxnPath,
+) -> (Vec<Evaluated>, FastForwardStats) {
     let models = vec![
         Model::vgg16(scale.dnn_batch),
         Model::alexnet(scale.dnn_batch),
@@ -80,7 +118,7 @@ pub fn evaluate_training_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
         Model::resnet50(scale.dnn_batch),
         Model::bert_base(scale.dnn_batch, scale.bert_seq),
     ];
-    evaluate(models, true, threads)
+    evaluate(models, true, threads, path)
 }
 
 /// Fig 12a/12b: memory-traffic increase of MGX and BP.

@@ -1,7 +1,8 @@
 //! Genome-alignment experiments: Fig 16.
 
 use super::Evaluated;
-use crate::pipeline::{PhaseMode, SimConfig, Simulation};
+use crate::fastfwd::FastForwardStats;
+use crate::pipeline::{PhaseMode, SimConfig, Simulation, TxnPath};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
@@ -24,9 +25,20 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
 /// [`evaluate`] with the workloads fanned across `threads` pool workers
 /// (`0` = all cores). Output is identical to the sequential run.
 pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
+    evaluate_path(scale, threads, TxnPath::Burst).0
+}
+
+/// [`evaluate_on`] on an explicit [`TxnPath`], returning the suite's
+/// aggregate fast-forward counters next to the (path-independent) results.
+/// Burst and per-line runs report all-zero counters.
+pub fn evaluate_path(
+    scale: &Scale,
+    threads: usize,
+    path: TxnPath,
+) -> (Vec<Evaluated>, FastForwardStats) {
     let accel = GactAccelConfig::default();
-    let scfg = setup(&accel);
-    crate::parallel::map(threads, GenomeWorkload::suite(), |w| {
+    let scfg = SimConfig { txn_path: path, ..setup(&accel) };
+    let pairs = crate::parallel::map(threads, GenomeWorkload::suite(), |w| {
         let src = stream_gact_trace(
             &w,
             &accel,
@@ -35,9 +47,19 @@ pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
             scale.genome_divisor,
             0xD4A,
         );
-        let results = Simulation::over(src).config(scfg.clone()).run_all();
-        Evaluated::new(w.label(), String::new(), results)
-    })
+        let (results, stats) =
+            super::split_sweep(Simulation::over(src).config(scfg.clone()).run_all_with_stats());
+        (Evaluated::new(w.label(), String::new(), results), stats)
+    });
+    let mut total = FastForwardStats::default();
+    let evals = pairs
+        .into_iter()
+        .map(|(e, s)| {
+            total += s;
+            e
+        })
+        .collect();
+    (evals, total)
 }
 
 /// Fig 16: normalized execution time of GACT under MGX_VN and BP.

@@ -1,7 +1,8 @@
 //! Graph experiments: Fig 14 (and the graph half of Fig 3).
 
 use super::Evaluated;
-use crate::pipeline::{SimConfig, Simulation};
+use crate::fastfwd::FastForwardStats;
+use crate::pipeline::{SimConfig, Simulation, TxnPath};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
@@ -25,8 +26,19 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
 /// BFS, so generation parallelizes too. Output order and bits are identical
 /// to the sequential run.
 pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
+    evaluate_path(scale, threads, TxnPath::Burst).0
+}
+
+/// [`evaluate_on`] on an explicit [`TxnPath`], returning the suite's
+/// aggregate fast-forward counters next to the (path-independent) results.
+/// Burst and per-line runs report all-zero counters.
+pub fn evaluate_path(
+    scale: &Scale,
+    threads: usize,
+    path: TxnPath,
+) -> (Vec<Evaluated>, FastForwardStats) {
     let accel = GraphAccelConfig::default();
-    let scfg = setup();
+    let scfg = SimConfig { txn_path: path, ..setup() };
     let per_dataset = crate::parallel::map(threads, Dataset::suite().to_vec(), |ds| {
         let g = ds.generate(scale.graph_divisor, 0xA11CE);
         // BFS sweep count measured on the actual graph from its busiest
@@ -40,14 +52,28 @@ pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
         workloads
             .into_iter()
             .map(|w| {
-                let results = Simulation::over(stream_graph_trace(&g, w, &accel))
-                    .config(scfg.clone())
-                    .run_all();
-                Evaluated::new(format!("{}-{}", w.label(), ds.name), String::new(), results)
+                let (results, stats) = super::split_sweep(
+                    Simulation::over(stream_graph_trace(&g, w, &accel))
+                        .config(scfg.clone())
+                        .run_all_with_stats(),
+                );
+                (
+                    Evaluated::new(format!("{}-{}", w.label(), ds.name), String::new(), results),
+                    stats,
+                )
             })
             .collect::<Vec<_>>()
     });
-    per_dataset.into_iter().flatten().collect()
+    let mut total = FastForwardStats::default();
+    let evals = per_dataset
+        .into_iter()
+        .flatten()
+        .map(|(e, s)| {
+            total += s;
+            e
+        })
+        .collect();
+    (evals, total)
 }
 
 /// Fig 14a: memory-traffic increase of PR/BFS under MGX and BP.

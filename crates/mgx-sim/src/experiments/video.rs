@@ -5,7 +5,8 @@
 //! same overhead comparison for completeness.
 
 use super::Evaluated;
-use crate::pipeline::{SimConfig, Simulation};
+use crate::fastfwd::FastForwardStats;
+use crate::pipeline::{SimConfig, Simulation, TxnPath};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
@@ -27,10 +28,24 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
 /// inside the sweep ([`Simulation::parallel`]) rather than from the
 /// workload pool. Output is identical to the sequential run.
 pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
+    evaluate_path(scale, threads, TxnPath::Burst).0
+}
+
+/// [`evaluate_on`] on an explicit [`TxnPath`], returning the decode's
+/// aggregate fast-forward counters next to the (path-independent) results.
+/// Burst and per-line runs report all-zero counters.
+pub fn evaluate_path(
+    scale: &Scale,
+    threads: usize,
+    path: TxnPath,
+) -> (Vec<Evaluated>, FastForwardStats) {
     let gop = GopStructure::ibpb(scale.video_frames);
     let src = stream_decode_trace(&gop, &DecoderConfig::default());
-    let results = Simulation::over(src).config(setup()).parallel(threads).run_all();
-    vec![Evaluated::new("H.264-IBPB", String::new(), results)]
+    let cfg = SimConfig { txn_path: path, ..setup() };
+    let (results, stats) = super::split_sweep(
+        Simulation::over(src).config(cfg).parallel(threads).run_all_with_stats(),
+    );
+    (vec![Evaluated::new("H.264-IBPB", String::new(), results)], stats)
 }
 
 /// The H.264 overhead table (our addition; the paper reports functional

@@ -1,0 +1,221 @@
+//! Phase-signature memoization: the fast-forward layer.
+//!
+//! Accelerator traces are wildly repetitive — a DNN layer streams thousands
+//! of identical tiles through a double buffer, a video codec replays the
+//! same frame loop. After warmup, the *entire simulator microstate* at the
+//! start of such a phase (engine caches and coalescer windows, DRAM
+//! row-buffer and bus state) recurs exactly, so simulating the phase again
+//! reproduces the previous timing and traffic shifted in time.
+//!
+//! The fast-forward layer ([`TxnPath::FastForward`]) exploits that:
+//!
+//! 1. Each phase is fingerprinted by mixing its structural signature
+//!    ([`Phase::signature`]: requests, sizes, directions, compute) with the
+//!    engine's microstate digest ([`ProtectionEngine::ff_digest`]) and the
+//!    DRAM's *time-relative* microstate digest (`DramSim::ff_digest`, which
+//!    floors ready/bus times at the phase start — exactly the encoding under
+//!    which equal states behave shift-identically).
+//! 2. A fingerprint seen for the **second** time is recorded: the phase is
+//!    fully simulated once through the burst path while capturing engine
+//!    snapshots (pre + post), the post-phase DRAM snapshot relative to the
+//!    phase start, and the stats deltas. Two-touch admission keeps
+//!    one-shot phases from bloating the class table with ~16 KB snapshots.
+//! 3. Every later occurrence *replays* the class: jump the engine to the
+//!    post state (rebasing cumulative counters), shift the DRAM post
+//!    snapshot to the new start, add the stats delta — in O(state) instead
+//!    of O(transactions).
+//!
+//! **Soundness over cleverness**: replay happens only when every
+//! fingerprint component matches bit-for-bit *and* the refresh-validity
+//! window holds — `refresh_slack(start)` must exceed the recorded class
+//! horizon, so no refresh would have interrupted the phase (refresh phase
+//! is deliberately *excluded* from the digest; it is a validity condition,
+//! not an equivalence dimension, which is what makes hits plentiful). The
+//! moment anything diverges, the phase falls back to the ordinary burst
+//! path, which is bit-identical to [`TxnPath::PerLine`]. Fingerprint
+//! quality therefore only affects the *hit rate*, never the results:
+//! `FastForward ≡ Burst ≡ PerLine` down to the float bits of `exec_ns`
+//! (see `tests/fastforward_equivalence.rs`).
+//!
+//! [`TxnPath::FastForward`]: crate::TxnPath::FastForward
+//! [`TxnPath::PerLine`]: crate::TxnPath::PerLine
+//! [`Phase::signature`]: mgx_trace::Phase::signature
+//! [`ProtectionEngine::ff_digest`]: mgx_core::ProtectionEngine::ff_digest
+
+use mgx_dram::{DramSnapshot, DramStats};
+use std::any::Any;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Pass-through hasher for the fingerprint maps: keys are already
+/// splitmix-mixed 64-bit digests, so re-hashing them through SipHash on
+/// every phase lookup buys nothing but latency.
+#[derive(Default)]
+struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint maps only hash u64 keys");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type FpMap<V> = HashMap<u64, V, BuildHasherDefault<FpHasher>>;
+
+/// Upper bound on recorded equivalence classes per scheme run. Each class
+/// holds two engine snapshots (a BP snapshot is dominated by the 32 KB
+/// metadata cache model) plus a DRAM snapshot, so the cap bounds memory at
+/// a few hundred MB worst-case while being far above the class counts real
+/// workloads produce (tens).
+const MAX_CLASSES: usize = 4096;
+
+/// Upper bound on the first-touch admission map (fingerprint → count).
+/// A non-repeating stream stops growing the map here and simply runs at
+/// burst speed.
+const SEEN_CAP: usize = 1 << 16;
+
+/// Hit/miss accounting for one fast-forward scheme run, surfaced next to
+/// the timing results like cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastForwardStats {
+    /// Phases replayed from a recorded equivalence class.
+    pub hits: u64,
+    /// Phases fully simulated because their fingerprint had no recording
+    /// yet (first and second touches, or table full).
+    pub misses: u64,
+    /// Phases fully simulated because memoization was inapplicable: the
+    /// fingerprint was unavailable (run too young for exact relative
+    /// encoding, or DRAM timing outside the supported envelope) or a
+    /// recorded class was rejected by the refresh-validity window.
+    pub fallbacks: u64,
+    /// Equivalence classes recorded (snapshot pairs held).
+    pub recorded: u64,
+}
+
+impl FastForwardStats {
+    /// Total phases that went through the fast-forward decision.
+    pub fn phases(&self) -> u64 {
+        self.hits + self.misses + self.fallbacks
+    }
+
+    /// Fraction of phases replayed instead of simulated.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.phases();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+impl core::ops::Add for FastForwardStats {
+    type Output = FastForwardStats;
+    fn add(self, rhs: FastForwardStats) -> FastForwardStats {
+        FastForwardStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            fallbacks: self.fallbacks + rhs.fallbacks,
+            recorded: self.recorded + rhs.recorded,
+        }
+    }
+}
+
+impl core::ops::AddAssign for FastForwardStats {
+    fn add_assign(&mut self, rhs: FastForwardStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::iter::Sum for FastForwardStats {
+    fn sum<I: Iterator<Item = FastForwardStats>>(iter: I) -> FastForwardStats {
+        iter.fold(FastForwardStats::default(), |a, b| a + b)
+    }
+}
+
+/// One recorded equivalence class: everything needed to replay the phase
+/// from any state matching its fingerprint.
+pub(crate) struct ClassDelta {
+    /// Engine state at the recorded phase's start (counter rebase base).
+    pub(crate) engine_pre: Box<dyn Any + Send>,
+    /// Engine state at the recorded phase's end (jump target).
+    pub(crate) engine_post: Box<dyn Any + Send>,
+    /// Post-phase DRAM microstate, relative to the recorded phase start.
+    pub(crate) dram_post: DramSnapshot,
+    /// DRAM statistics accumulated by the recorded phase.
+    pub(crate) dram_delta: DramStats,
+    /// Latest relative timestamp the phase's bus activity reaches; a replay
+    /// is valid only while `refresh_slack(start)` exceeds this.
+    pub(crate) horizon: u64,
+    /// Memory completion relative to the phase start (`done − start`).
+    pub(crate) mem_rel: u64,
+}
+
+/// Per-scheme-run fast-forward state: the admission map, the class table,
+/// and the counters.
+#[derive(Default)]
+pub(crate) struct FastForward {
+    /// Fingerprint → times seen without a recording (two-touch admission).
+    seen: FpMap<u32>,
+    classes: FpMap<ClassDelta>,
+    pub(crate) stats: FastForwardStats,
+}
+
+impl FastForward {
+    /// Looks up a recorded class for `key`.
+    pub(crate) fn class(&self, key: u64) -> Option<&ClassDelta> {
+        self.classes.get(&key)
+    }
+
+    /// Counts a touch of an unrecorded fingerprint, returning `true` when
+    /// the phase should be recorded (second touch, table not full).
+    pub(crate) fn admit(&mut self, key: u64) -> bool {
+        if self.classes.len() >= MAX_CLASSES {
+            return false;
+        }
+        if self.seen.len() >= SEEN_CAP && !self.seen.contains_key(&key) {
+            return false;
+        }
+        let touches = self.seen.entry(key).or_insert(0);
+        *touches += 1;
+        *touches >= 2
+    }
+
+    /// Stores a freshly recorded class.
+    pub(crate) fn record(&mut self, key: u64, class: ClassDelta) {
+        self.seen.remove(&key);
+        self.classes.insert(key, class);
+        self.stats.recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_rates_are_guarded_and_additive() {
+        let zero = FastForwardStats::default();
+        assert_eq!(zero.hit_rate(), 0.0);
+        assert_eq!(zero.phases(), 0);
+        let a = FastForwardStats { hits: 3, misses: 1, fallbacks: 0, recorded: 1 };
+        let b = FastForwardStats { hits: 1, misses: 0, fallbacks: 3, recorded: 0 };
+        let sum: FastForwardStats = [a, b].into_iter().sum();
+        assert_eq!(sum, a + b);
+        assert_eq!(sum.phases(), 8);
+        assert!((sum.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_touch_admission_records_on_second_sight() {
+        let mut ff = FastForward::default();
+        assert!(!ff.admit(42), "first touch must not record");
+        assert!(ff.admit(42), "second touch records");
+        assert!(!ff.admit(7), "other keys start their own count");
+    }
+}

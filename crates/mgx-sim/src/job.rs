@@ -19,7 +19,8 @@
 //! from an on-disk store written by an older build (see DESIGN.md).
 
 use crate::experiments::{dnn, genome, graph, video, Evaluated};
-use crate::pipeline::RunResult;
+use crate::fastfwd::FastForwardStats;
+use crate::pipeline::{RunResult, TxnPath};
 use crate::scale::Scale;
 use mgx_core::Scheme;
 
@@ -175,12 +176,20 @@ impl JobSpec {
     /// `evaluate_*_on` entry points the `figures` binary calls), returning
     /// every workload of the suite under all five schemes.
     pub fn execute(&self) -> Vec<Evaluated> {
+        self.execute_path(TxnPath::Burst).0
+    }
+
+    /// [`JobSpec::execute`] on an explicit [`TxnPath`], with the suite's
+    /// aggregate fast-forward counters. All three paths produce
+    /// bit-identical `Evaluated` results — the path (like `threads`) is an
+    /// execution knob, never part of the job identity or digest.
+    pub fn execute_path(&self, path: TxnPath) -> (Vec<Evaluated>, FastForwardStats) {
         match self.suite {
-            Suite::DnnInference => dnn::evaluate_inference_on(&self.scale, self.threads),
-            Suite::DnnTraining => dnn::evaluate_training_on(&self.scale, self.threads),
-            Suite::Graph => graph::evaluate_on(&self.scale, self.threads),
-            Suite::Genome => genome::evaluate_on(&self.scale, self.threads),
-            Suite::Video => video::evaluate_on(&self.scale, self.threads),
+            Suite::DnnInference => dnn::evaluate_inference_path(&self.scale, self.threads, path),
+            Suite::DnnTraining => dnn::evaluate_training_path(&self.scale, self.threads, path),
+            Suite::Graph => graph::evaluate_path(&self.scale, self.threads, path),
+            Suite::Genome => genome::evaluate_path(&self.scale, self.threads, path),
+            Suite::Video => video::evaluate_path(&self.scale, self.threads, path),
         }
     }
 

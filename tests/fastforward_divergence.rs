@@ -1,0 +1,149 @@
+//! Divergence injection: adversarial workloads engineered to *break* the
+//! memoizer's assumptions — refresh-schedule offsets shifted by huge
+//! compute gaps, non-uniform phases interleaved between recurring ones,
+//! metadata-cache warm/cold flips — and the property that must survive all
+//! of it: the fast-forward path's output is **bit-identical** to the full
+//! burst simulation in every case. Divergence may cost hits (and the
+//! deterministic tests below pin that fallbacks/misses really fire); it
+//! must never cost correctness.
+
+mod common;
+
+use common::{
+    assert_ff_identical_with_stats, config_for, interleaved_trace, refresh_gap_trace, TILE,
+};
+use mgx::core::Scheme;
+use mgx::sim::{PhaseMode, Simulation, TxnPath};
+use mgx::trace::{DataClass, MemRequest, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// One adversarial phase: a recurring tile pass, a refresh-shifting compute
+/// gap, an aperiodic odd-shaped access, or a metadata-cache thrash scan.
+#[derive(Debug, Clone, Copy)]
+enum Inject {
+    Recur,
+    Gap { cycles: u64 },
+    Odd { offset: u64, bytes: u64 },
+    Thrash,
+}
+
+/// Builds a trace from a blueprint of injected phases. The recurring
+/// phases ping-pong over the first tiles; the thrash scan reads 2 MiB —
+/// far past any engine's metadata cache — so the next recurring phase
+/// starts from a cold cache and a previously recorded class cannot match.
+fn inject_trace(specs: &[Inject]) -> Trace {
+    let mut b = TraceBuilder::new();
+    let r = b.regions_mut().alloc("adv", 8 << 20, DataClass::Feature);
+    let base = b.regions().get(r).base;
+    let mut recur = 0u64;
+    for &spec in specs {
+        match spec {
+            Inject::Recur => {
+                b.begin_unnamed_phase(500);
+                b.push(MemRequest::read(r, base + (recur % 2) * TILE, TILE));
+                b.push(MemRequest::write(r, base + 2 * TILE, TILE));
+                recur += 1;
+            }
+            Inject::Gap { cycles } => {
+                b.begin_unnamed_phase(cycles);
+                b.push(MemRequest::read(r, base, 64));
+            }
+            Inject::Odd { offset, bytes } => {
+                b.begin_unnamed_phase(300);
+                b.push(MemRequest::read(r, base + 4 * TILE + (offset & !63), bytes));
+            }
+            Inject::Thrash => {
+                b.begin_unnamed_phase(1000);
+                b.push(MemRequest::read(r, base + (4 << 20), 2 << 20));
+            }
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline property: whatever mixture of recurring phases,
+    /// refresh-shifting gaps, odd aperiodic phases, and cache-thrashing
+    /// scans is thrown at it, fast-forward output is bit-identical to the
+    /// full simulation — for all five schemes.
+    #[test]
+    fn any_injection_mix_is_bit_identical(
+        specs in proptest::collection::vec(
+            prop_oneof![
+                4 => Just(0usize),
+                1 => Just(1usize),
+                1 => Just(2usize),
+                1 => Just(3usize),
+            ].prop_flat_map(|kind| (Just(kind), proptest::strategy::any::<u64>())),
+            24..64,
+        ),
+    ) {
+        let blueprint: Vec<Inject> = specs
+            .into_iter()
+            .map(|(kind, seed)| match kind {
+                0 => Inject::Recur,
+                1 => Inject::Gap { cycles: 100_000 + seed % 3_000_000 },
+                2 => Inject::Odd { offset: seed % (2 << 20), bytes: 64 + seed % (2 * TILE) },
+                _ => Inject::Thrash,
+            })
+            .collect();
+        let trace = inject_trace(&blueprint);
+        let cfg = config_for(PhaseMode::Overlapped);
+        // The helper asserts bit-identity internally (hard assert is fine
+        // under the shim: it reports the deterministic case index).
+        let stats = assert_ff_identical_with_stats(&trace, &cfg, "inject");
+        prop_assert_eq!(stats.phases(), 5 * blueprint.len() as u64);
+    }
+}
+
+/// Compute gaps long enough to cross refresh intervals shift each phase's
+/// offset into the refresh schedule; replays whose slack is smaller than
+/// the recorded horizon must be rejected through the fallback path.
+#[test]
+fn refresh_offsets_trigger_fallbacks() {
+    let cfg = config_for(PhaseMode::Overlapped);
+    let stats = assert_ff_identical_with_stats(&refresh_gap_trace(64, 2_000_000), &cfg, "gaps");
+    assert!(stats.fallbacks > 0, "refresh-straddling phases must fall back, got {stats:?}");
+}
+
+/// Aperiodic odd phases interleaved with recurring ones: the recurring
+/// half still replays, the odd half misses, and nothing diverges.
+#[test]
+fn interleaved_nonuniform_phases_still_replay_the_recurring_half() {
+    let cfg = config_for(PhaseMode::Overlapped);
+    let stats = assert_ff_identical_with_stats(&interleaved_trace(128), &cfg, "interleave");
+    assert!(stats.hits > 0, "recurring half must replay, got {stats:?}");
+    assert!(stats.misses > stats.recorded, "aperiodic half must keep missing, got {stats:?}");
+}
+
+/// A cache-thrashing scan in the middle of a recurring run flips the
+/// engine microstate from warm to cold: the first recurring phase after
+/// the scan must *not* replay the warm-state class (its engine digest
+/// differs), costing extra misses relative to the uninterrupted run —
+/// while remaining bit-identical, which `assert_ff_identical_with_stats`
+/// already checked for the whole blueprint above. Baseline (BP) is the
+/// scheme with the biggest metadata cache footprint, so pin it directly.
+#[test]
+fn cache_cold_flip_breaks_the_warm_class() {
+    let ff_misses = |trace: &Trace| {
+        let (_, stats) = Simulation::over(trace)
+            .config(config_for(PhaseMode::Overlapped).clone())
+            .txn_path(TxnPath::FastForward)
+            .scheme(Scheme::Baseline)
+            .run_ff();
+        stats
+    };
+    let smooth: Vec<Inject> = vec![Inject::Recur; 41];
+    let mut flipped = vec![Inject::Recur; 20];
+    flipped.push(Inject::Thrash);
+    flipped.extend([Inject::Recur; 20]);
+    let warm = ff_misses(&inject_trace(&smooth));
+    let cold = ff_misses(&inject_trace(&flipped));
+    assert!(warm.hits > 0, "sanity: uninterrupted run must replay, got {warm:?}");
+    assert!(
+        cold.misses + cold.fallbacks > warm.misses + warm.fallbacks,
+        "the cold flip must force at least one extra full simulation: warm {warm:?} cold {cold:?}"
+    );
+}

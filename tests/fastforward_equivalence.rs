@@ -1,0 +1,81 @@
+//! The fast-forward differential suite: `FastForward ≡ Burst ≡ PerLine`
+//! bit-for-bit — `dram_cycles`, `traffic`, `dram` by `==`, `exec_ns` down
+//! to the float bits — across all five schemes, both phase modes, and
+//! thread counts {1, 4}, for every workload shape the memoizer meets:
+//! perfectly recurring, never recurring, mixed, and refresh-straddling.
+//!
+//! This is the property the whole fast-forward layer leans on (see
+//! `mgx_sim::fastfwd`): the memoizer may *miss* freely, but a hit must be
+//! indistinguishable from having simulated the phase.
+
+mod common;
+
+use common::{
+    assert_all_paths_bit_identical, assert_ff_identical_with_stats, config_for, frame_ring_trace,
+    interleaved_trace, ping_pong_trace, refresh_gap_trace, stream_trace,
+};
+use mgx::dnn::trace::build_inference_trace;
+use mgx::dnn::Model;
+use mgx::scalesim::{ArrayConfig, Dataflow};
+use mgx::sim::PhaseMode;
+
+#[test]
+fn ping_pong_all_paths_bit_identical() {
+    assert_all_paths_bit_identical(&ping_pong_trace(96), "ping-pong");
+}
+
+#[test]
+fn frame_ring_all_paths_bit_identical() {
+    assert_all_paths_bit_identical(&frame_ring_trace(96), "frame-ring");
+}
+
+#[test]
+fn monotonic_stream_all_paths_bit_identical() {
+    assert_all_paths_bit_identical(&stream_trace(64), "stream");
+}
+
+#[test]
+fn interleaved_phases_all_paths_bit_identical() {
+    assert_all_paths_bit_identical(&interleaved_trace(96), "interleaved");
+}
+
+#[test]
+fn refresh_straddling_all_paths_bit_identical() {
+    // ~half the phases start near a refresh boundary; replays there must be
+    // rejected by the validity window, not silently wrong.
+    assert_all_paths_bit_identical(&refresh_gap_trace(64, 2_000_000), "refresh-gap");
+}
+
+#[test]
+fn real_dnn_workload_all_paths_bit_identical() {
+    // A real accelerator trace, not a synthetic blueprint: AlexNet through
+    // the systolic-array model (batch 1 keeps it fast).
+    let model = Model::alexnet(1);
+    let trace = build_inference_trace(&model, &ArrayConfig::cloud(), Dataflow::WeightStationary);
+    assert_all_paths_bit_identical(&trace, "alexnet");
+}
+
+#[test]
+fn recurring_workload_actually_replays() {
+    // The equivalence above would hold trivially if the memoizer never hit;
+    // pin that the uniform suites really do replay the bulk of their phases
+    // in steady state.
+    for mode in common::all_modes() {
+        let cfg = config_for(mode);
+        let stats = assert_ff_identical_with_stats(&ping_pong_trace(256), &cfg, "pp-hits");
+        assert!(
+            stats.hits > stats.phases() / 2,
+            "{mode:?}: expected majority replays, got {} hits / {} phases",
+            stats.hits,
+            stats.phases()
+        );
+        assert!(stats.recorded > 0, "{mode:?}: no classes recorded");
+    }
+}
+
+#[test]
+fn monotonic_stream_never_replays() {
+    let cfg = config_for(PhaseMode::Overlapped);
+    let stats = assert_ff_identical_with_stats(&stream_trace(64), &cfg, "stream-miss");
+    assert_eq!(stats.hits, 0, "a non-recurring stream must not replay");
+}
