@@ -19,16 +19,20 @@
 //! runs every suite on the phase-memoizing `TxnPath::FastForward` path
 //! (bypassing the store) and reports per-suite hit rates on stderr; the
 //! figures on stdout are byte-identical to a run without the flag.
+//! `--stats-json PATH` additionally writes the per-suite wall-clock (and,
+//! with `--fast-forward`, the memoizer counters) as one JSON document to
+//! `PATH` — stdout stays byte-identical with or without the flag.
 
 use mgx_core::MetaTraffic;
 use mgx_serve::codec::evaluated_from_json;
 use mgx_serve::{ResultStore, StoreConfig};
 use mgx_sim::experiments::{
-    self, dnn, genome, graph, sensitivity, video, Evaluated, FIGURE_CATALOG,
+    self, dnn, genome, graph, sensitivity, transformer, video, Evaluated, FIGURE_CATALOG,
 };
 use mgx_sim::job::{JobSpec, Suite};
-use mgx_sim::{render, render_json, Figure, Scale, TxnPath};
+use mgx_sim::{render, render_json, FastForwardStats, Figure, Scale, TxnPath};
 use std::path::PathBuf;
+use std::time::Instant;
 
 fn wants(args: &[String], id: &str) -> bool {
     args.iter().any(|a| a == id || a == "all")
@@ -80,17 +84,76 @@ fn parse_store(args: &mut Vec<String>) -> Option<PathBuf> {
     dir
 }
 
+/// Extracts every `--stats-json PATH` / `--stats-json=PATH` from `args`
+/// (last wins), removing what it consumed.
+fn parse_stats_json(args: &mut Vec<String>) -> Option<PathBuf> {
+    let mut path = None;
+    while let Some(i) =
+        args.iter().position(|a| a == "--stats-json" || a.starts_with("--stats-json="))
+    {
+        let flag = args.remove(i);
+        path = Some(PathBuf::from(match flag.strip_prefix("--stats-json=") {
+            Some(v) => v.to_string(),
+            None => {
+                assert!(i < args.len(), "--stats-json needs a file path");
+                args.remove(i)
+            }
+        }));
+    }
+    path
+}
+
+/// One `--stats-json` record: a suite's wall-clock and (on the
+/// fast-forward path) its memoizer counters.
+struct SuiteStat {
+    suite: &'static str,
+    wall_s: f64,
+    ff: Option<FastForwardStats>,
+}
+
+fn stats_json(scale_label: &str, threads: usize, stats: &[SuiteStat]) -> String {
+    let mut out = format!("{{\"scale\":\"{scale_label}\",\"threads\":{threads},\"suites\":[");
+    for (i, s) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"suite\":\"{}\",\"wall_s\":{:.3}", s.suite, s.wall_s));
+        if let Some(ff) = &s.ff {
+            out.push_str(&format!(
+                ",\"fast_forward\":{{\"hits\":{},\"misses\":{},\"fallbacks\":{},\
+                 \"recorded\":{},\"hit_rate\":{:.4}}}",
+                ff.hits,
+                ff.misses,
+                ff.fallbacks,
+                ff.recorded,
+                ff.hit_rate()
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Runs (or reloads) one suite's five-scheme sweep, routed through the
 /// content-addressed store when `--store` is set. The digest covers the
 /// scale knobs and the simulator version, so a hit is exactly the sweep
-/// this invocation would have produced.
+/// this invocation would have produced. Each call appends the suite's
+/// wall-clock (and fast-forward counters, when on that path) to `stats`.
 fn suite_evals(
     suite: Suite,
     scale: &Scale,
     threads: usize,
     store: Option<&ResultStore>,
     fast_forward: bool,
+    stats: &mut Vec<SuiteStat>,
 ) -> Vec<Evaluated> {
+    let start = Instant::now();
+    let record = |ff: Option<FastForwardStats>| SuiteStat {
+        suite: suite.name(),
+        wall_s: start.elapsed().as_secs_f64(),
+        ff,
+    };
     let spec = JobSpec::suite_sweep(suite, *scale, threads);
     if fast_forward {
         // The memoizing path is bit-identical to the burst path, so the
@@ -107,20 +170,27 @@ fn suite_evals(
             ff.recorded,
             ff.fallbacks
         );
+        stats.push(record(Some(ff)));
         return evals;
     }
-    let Some(store) = store else { return spec.execute() };
+    let Some(store) = store else {
+        let evals = spec.execute();
+        stats.push(record(None));
+        return evals;
+    };
     let digest = spec.digest();
     if let Some(doc) = store.get(digest) {
         match evaluated_from_json(&doc) {
             Ok(evals) => {
                 eprintln!("# {}: store hit ({})", suite.name(), spec.digest_hex());
+                stats.push(record(None));
                 return evals;
             }
             Err(e) => eprintln!("# {}: discarding unreadable store entry ({e})", suite.name()),
         }
     }
     let evals = spec.execute();
+    stats.push(record(None));
     if let Err(e) = store.put(digest, spec.result_json(&evals)) {
         eprintln!("# {}: store write failed ({e}); continuing uncached", suite.name());
     }
@@ -131,6 +201,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = parse_threads(&mut args);
     let store_dir = parse_store(&mut args);
+    let stats_path = parse_stats_json(&mut args);
     if args.iter().any(|a| a == "--list") {
         println!("{:<10} description", "figure");
         for (id, desc) in FIGURE_CATALOG {
@@ -169,10 +240,12 @@ fn main() {
     let need_dnn_inf = ["fig3", "fig12a", "fig13a", "summary"].iter().any(|f| wants(&args, f));
     let need_dnn_train = ["fig3", "fig12b", "fig13b", "summary"].iter().any(|f| wants(&args, f));
     let need_graph = ["fig3", "fig14a", "fig14b", "summary"].iter().any(|f| wants(&args, f));
+    let need_llm = ["llm-traffic", "llm-time"].iter().any(|f| wants(&args, f));
 
+    let mut stats: Vec<SuiteStat> = Vec::new();
     let dnn_inf: Vec<Evaluated> = if need_dnn_inf {
         eprintln!("# simulating DNN inference suite…");
-        let e = suite_evals(Suite::DnnInference, &scale, threads, store, fast_forward);
+        let e = suite_evals(Suite::DnnInference, &scale, threads, store, fast_forward, &mut stats);
         log_volume("DNN inference", &e);
         e
     } else {
@@ -180,7 +253,7 @@ fn main() {
     };
     let dnn_train: Vec<Evaluated> = if need_dnn_train {
         eprintln!("# simulating DNN training suite…");
-        let e = suite_evals(Suite::DnnTraining, &scale, threads, store, fast_forward);
+        let e = suite_evals(Suite::DnnTraining, &scale, threads, store, fast_forward, &mut stats);
         log_volume("DNN training", &e);
         e
     } else {
@@ -188,8 +261,16 @@ fn main() {
     };
     let graphs: Vec<Evaluated> = if need_graph {
         eprintln!("# simulating graph suite…");
-        let e = suite_evals(Suite::Graph, &scale, threads, store, fast_forward);
+        let e = suite_evals(Suite::Graph, &scale, threads, store, fast_forward, &mut stats);
         log_volume("graph", &e);
+        e
+    } else {
+        Vec::new()
+    };
+    let llm: Vec<Evaluated> = if need_llm {
+        eprintln!("# simulating transformer suite…");
+        let e = suite_evals(Suite::Transformer, &scale, threads, store, fast_forward, &mut stats);
+        log_volume("transformer", &e);
         e
     } else {
         Vec::new()
@@ -218,12 +299,18 @@ fn main() {
     }
     if wants(&args, "fig16") {
         eprintln!("# simulating GACT suite…");
-        let g = suite_evals(Suite::Genome, &scale, threads, store, fast_forward);
+        let g = suite_evals(Suite::Genome, &scale, threads, store, fast_forward, &mut stats);
         print(&genome::fig16(&g));
     }
     if wants(&args, "h264") {
-        let v = suite_evals(Suite::Video, &scale, threads, store, fast_forward);
+        let v = suite_evals(Suite::Video, &scale, threads, store, fast_forward, &mut stats);
         print(&video::fig_h264(&v));
+    }
+    if wants(&args, "llm-traffic") {
+        print(&transformer::fig_llm_traffic(&llm));
+    }
+    if wants(&args, "llm-time") {
+        print(&transformer::fig_llm_time(&llm));
     }
     if wants(&args, "pruning") {
         println!("{}", pruning_table());
@@ -241,6 +328,11 @@ fn main() {
         } else {
             println!("{}", experiments::render_claims(&claims));
         }
+    }
+    if let Some(path) = stats_path {
+        let doc = stats_json(if quick { "quick" } else { "standard" }, threads, &stats);
+        std::fs::write(&path, doc).expect("--stats-json path must be writable");
+        eprintln!("# wrote per-suite stats to {}", path.display());
     }
 }
 

@@ -17,7 +17,7 @@
 //!               report throughput and store hit rate
 //!
 //! spec flags (submit/run/render/bench):
-//!   --suite S        dnn-inference|dnn-training|graph|genome|video
+//!   --suite S        dnn-inference|dnn-training|graph|genome|video|transformer
 //!   --scale S        quick|standard (default quick)
 //!   --schemes A,B    subset of NP,BP,MGX,MGX_VN,MGX_MAC (default all)
 //!   --threads N      sweep fan-out on the server (default 1)

@@ -8,6 +8,7 @@ pub mod dnn;
 pub mod genome;
 pub mod graph;
 pub mod sensitivity;
+pub mod transformer;
 pub mod video;
 
 use crate::fastfwd::FastForwardStats;
@@ -138,6 +139,8 @@ pub const FIGURE_CATALOG: &[(&str, &str)] = &[
     ("fig14b", "Graph normalized execution time, PR & BFS"),
     ("fig16", "GACT genome-alignment normalized execution time (MGX_VN vs BP)"),
     ("h264", "H.264 decode overhead table (video case study)"),
+    ("llm-traffic", "LLM inference memory-traffic increase, prefill/decode/paged (MGX vs BP)"),
+    ("llm-time", "LLM inference normalized execution time (MGX, MGX_VN, MGX_MAC, BP)"),
     ("pruning", "Compressed-format sizes and dynamic-pruning traffic factor (Section VII-B)"),
     (
         "ablations",
@@ -169,6 +172,8 @@ pub fn suite_figures() -> Vec<SuiteFigure> {
         ("fig14b", Suite::Graph, graph::fig14b),
         ("fig16", Suite::Genome, genome::fig16),
         ("h264", Suite::Video, video::fig_h264),
+        ("llm-traffic", Suite::Transformer, transformer::fig_llm_traffic),
+        ("llm-time", Suite::Transformer, transformer::fig_llm_time),
     ]
 }
 

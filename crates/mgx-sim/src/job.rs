@@ -18,7 +18,7 @@
 //! change that shifts any simulated bit must not be served stale results
 //! from an on-disk store written by an older build (see DESIGN.md).
 
-use crate::experiments::{dnn, genome, graph, video, Evaluated};
+use crate::experiments::{dnn, genome, graph, transformer, video, Evaluated};
 use crate::fastfwd::FastForwardStats;
 use crate::pipeline::{RunResult, TxnPath};
 use crate::scale::Scale;
@@ -39,12 +39,21 @@ pub enum Suite {
     Genome,
     /// The H.264 IBPB decode case study.
     Video,
+    /// LLM inference: prefill, decode, and paged decode for the two named
+    /// transformer shapes.
+    Transformer,
 }
 
 impl Suite {
     /// Every suite, in registry order.
-    pub const ALL: [Suite; 5] =
-        [Suite::DnnInference, Suite::DnnTraining, Suite::Graph, Suite::Genome, Suite::Video];
+    pub const ALL: [Suite; 6] = [
+        Suite::DnnInference,
+        Suite::DnnTraining,
+        Suite::Graph,
+        Suite::Genome,
+        Suite::Video,
+        Suite::Transformer,
+    ];
 
     /// Stable wire name (`"dnn-inference"`, `"graph"`, …).
     pub fn name(self) -> &'static str {
@@ -54,6 +63,7 @@ impl Suite {
             Suite::Graph => "graph",
             Suite::Genome => "genome",
             Suite::Video => "video",
+            Suite::Transformer => "transformer",
         }
     }
 
@@ -65,6 +75,7 @@ impl Suite {
             Suite::Graph => "PageRank + BFS over the six benchmark graphs (Fig 14)",
             Suite::Genome => "Darwin/GACT alignment workloads (Fig 16)",
             Suite::Video => "H.264 IBPB decode case study (Figs 18-19)",
+            Suite::Transformer => "LLM inference: prefill/decode/paged KV cache (llm-* figures)",
         }
     }
 
@@ -190,6 +201,7 @@ impl JobSpec {
             Suite::Graph => graph::evaluate_path(&self.scale, self.threads, path),
             Suite::Genome => genome::evaluate_path(&self.scale, self.threads, path),
             Suite::Video => video::evaluate_path(&self.scale, self.threads, path),
+            Suite::Transformer => transformer::evaluate_path(&self.scale, self.threads, path),
         }
     }
 
@@ -371,6 +383,21 @@ mod tests {
         let unsalted = fnv1a(FNV_OFFSET, spec.canonical_json().as_bytes());
         assert_ne!(spec.digest(), unsalted);
         assert!(DIGEST_SALT.contains(env!("CARGO_PKG_VERSION")));
+    }
+
+    #[test]
+    fn transformer_era_digests_diverge_from_the_pre_transformer_salt() {
+        // Stale-store poisoning guard: adding `Suite::Transformer` changed
+        // the evaluation surface, so this build's digests must not collide
+        // with keys written by the last release without it (salt
+        // "mgx-job/0.1.0"). If this test fails, the version (and with it
+        // DIGEST_SALT) was rolled back across a behavior change.
+        let old_salt = "mgx-job/0.1.0";
+        assert_ne!(DIGEST_SALT, old_salt, "adding Suite::Transformer requires a version bump");
+        let spec = tiny_video_spec();
+        let old_digest =
+            fnv1a(fnv1a(FNV_OFFSET, old_salt.as_bytes()), spec.canonical_json().as_bytes());
+        assert_ne!(spec.digest(), old_digest, "stale pre-transformer store keys must not resolve");
     }
 
     #[test]

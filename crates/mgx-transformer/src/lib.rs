@@ -1,0 +1,25 @@
+//! LLM-inference workloads for the secure-accelerator evaluation.
+//!
+//! The paper's thesis — application-managed version numbers are free when
+//! the application knows its own write pattern — gets its strongest modern
+//! test from transformer inference: weight streaming is read-only, prefill
+//! writes its KV cache exactly once, decode *appends* one slot per step
+//! (a monotonic counter the app can track), and paged attention adds only
+//! a tiny block table of once-published entries. This crate provides the
+//! trace generators: [`trace::stream_prefill_trace`],
+//! [`trace::stream_decode_trace`], and
+//! [`trace::stream_paged_attention_trace`], plus `build_*` collect
+//! wrappers, parameterized by [`TransformerConfig`] shape and
+//! [`InferenceRequest`] batch/prompt/decode knobs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod trace;
+
+pub use model::{InferenceRequest, PagedConfig, TransformerConfig};
+pub use trace::{
+    build_decode_trace, build_paged_attention_trace, build_prefill_trace, stream_decode_trace,
+    stream_paged_attention_trace, stream_prefill_trace,
+};

@@ -1,0 +1,194 @@
+//! Transformer shapes and inference-request descriptions.
+//!
+//! A [`TransformerConfig`] is a decoder-only stack (the GPT/Llama family):
+//! per layer a fused QKV projection, single-head-group attention over the
+//! KV cache, an output projection, and a two- or three-matrix FFN. Shapes
+//! follow the repo's scaled-workload methodology (graphs are divided, DNN
+//! batches shrunk): the named configs keep the *structure* of their
+//! namesakes — depth ratio, GQA grouping, gated FFN — at dimensions small
+//! enough that the full five-scheme sweep stays interactive.
+
+/// Decoder-only transformer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Display name used in experiment rows.
+    pub name: &'static str,
+    /// Decoder layers.
+    pub layers: u64,
+    /// Query heads.
+    pub heads: u64,
+    /// Key/value heads (`== heads` for MHA, fewer for GQA).
+    pub kv_heads: u64,
+    /// Residual-stream width.
+    pub d_model: u64,
+    /// FFN hidden width.
+    pub d_ff: u64,
+    /// `true` for a gated FFN (SwiGLU-style: gate + up + down matrices),
+    /// `false` for the classic two-matrix MLP.
+    pub gated_ffn: bool,
+    /// Maximum context the KV cache holds; past it the cache behaves as a
+    /// ring (sliding-window attention) and old tokens are overwritten.
+    pub max_context: u64,
+}
+
+impl TransformerConfig {
+    /// A small GPT-style shape: MHA, ungated MLP, shallow.
+    pub fn gpt_small() -> Self {
+        Self {
+            name: "GPT-S",
+            layers: 4,
+            heads: 8,
+            kv_heads: 8,
+            d_model: 512,
+            d_ff: 2048,
+            gated_ffn: false,
+            max_context: 512,
+        }
+    }
+
+    /// A larger Llama-style shape: deeper, grouped-query attention (3×
+    /// fewer KV heads), gated FFN, longer context.
+    pub fn llama_style() -> Self {
+        Self {
+            name: "Llama-S",
+            layers: 8,
+            heads: 12,
+            kv_heads: 4,
+            d_model: 768,
+            d_ff: 2048,
+            gated_ffn: true,
+            max_context: 1024,
+        }
+    }
+
+    /// Panics unless the shape is internally consistent (divisibility and
+    /// non-zero dimensions).
+    pub fn assert_valid(&self) {
+        assert!(self.layers > 0 && self.heads > 0 && self.kv_heads > 0, "{}: empty", self.name);
+        assert!(self.d_model > 0 && self.d_ff > 0 && self.max_context > 0, "{}: empty", self.name);
+        assert_eq!(self.d_model % self.heads, 0, "{}: d_model % heads != 0", self.name);
+        assert_eq!(self.heads % self.kv_heads, 0, "{}: heads % kv_heads != 0", self.name);
+    }
+
+    /// Width of one attention head.
+    pub fn head_dim(&self) -> u64 {
+        self.d_model / self.heads
+    }
+
+    /// Width of the K (or V) projection: `kv_heads × head_dim`.
+    pub fn kv_dim(&self) -> u64 {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// How many FFN weight matrices a layer carries.
+    pub fn ffn_mats(&self) -> u64 {
+        if self.gated_ffn {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// Weight elements in one layer: fused QKV, output projection, FFN.
+    pub fn layer_weight_elems(&self) -> u64 {
+        let qkv = self.d_model * (self.d_model + 2 * self.kv_dim());
+        let o = self.d_model * self.d_model;
+        let ffn = self.ffn_mats() * self.d_model * self.d_ff;
+        qkv + o + ffn
+    }
+
+    /// Total weight elements in the stack.
+    pub fn weight_elems(&self) -> u64 {
+        self.layers * self.layer_weight_elems()
+    }
+
+    /// KV-cache slots the cache actually holds for this request: the full
+    /// conversation if it fits, else the ring window `max_context`.
+    pub fn window(&self, req: &InferenceRequest) -> u64 {
+        req.total_tokens().min(self.max_context).max(1)
+    }
+}
+
+/// One batched inference call: `batch` independent sequences, each with a
+/// `prompt_len`-token prefill followed by `decode_steps` generated tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferenceRequest {
+    /// Concurrent sequences sharing the weights (and, paged, the block
+    /// pool).
+    pub batch: u64,
+    /// Prompt tokens per sequence (processed in one prefill pass).
+    pub prompt_len: u64,
+    /// Tokens generated per sequence, one per decode step.
+    pub decode_steps: u64,
+}
+
+impl InferenceRequest {
+    /// A request; `batch` and `prompt_len` must be non-zero
+    /// (`decode_steps` may be zero — a prefill-only call).
+    pub fn new(batch: u64, prompt_len: u64, decode_steps: u64) -> Self {
+        assert!(batch > 0, "batch must be non-zero");
+        assert!(prompt_len > 0, "prompt_len must be non-zero");
+        Self { batch, prompt_len, decode_steps }
+    }
+
+    /// Tokens a sequence accumulates over the whole request.
+    pub fn total_tokens(&self) -> u64 {
+        self.prompt_len + self.decode_steps
+    }
+}
+
+/// Paged-attention layout knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedConfig {
+    /// KV-cache tokens per physical block (vLLM-style page).
+    pub block_tokens: u64,
+}
+
+impl Default for PagedConfig {
+    fn default() -> Self {
+        Self { block_tokens: 16 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_shapes_are_consistent() {
+        for m in [TransformerConfig::gpt_small(), TransformerConfig::llama_style()] {
+            m.assert_valid();
+            assert!(m.weight_elems() > 0);
+        }
+    }
+
+    #[test]
+    fn gpt_small_weight_count() {
+        let m = TransformerConfig::gpt_small();
+        assert_eq!(m.kv_dim(), 512); // MHA: kv width == d_model
+                                     // Per layer: 512×1536 QKV + 512×512 O + 2 × 512×2048 FFN.
+        assert_eq!(m.layer_weight_elems(), 512 * 1536 + 512 * 512 + 2 * 512 * 2048);
+        assert_eq!(m.weight_elems(), 4 * m.layer_weight_elems());
+    }
+
+    #[test]
+    fn llama_style_uses_grouped_kv_heads_and_a_gated_ffn() {
+        let m = TransformerConfig::llama_style();
+        assert_eq!(m.head_dim(), 64);
+        assert_eq!(m.kv_dim(), 256); // 4 KV heads × 64 — 3× smaller than d_model
+        assert_eq!(m.ffn_mats(), 3);
+    }
+
+    #[test]
+    fn window_clamps_to_max_context() {
+        let m = TransformerConfig::gpt_small();
+        assert_eq!(m.window(&InferenceRequest::new(1, 64, 8)), 72);
+        assert_eq!(m.window(&InferenceRequest::new(1, 500, 100)), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt_len")]
+    fn empty_prompts_are_rejected() {
+        InferenceRequest::new(1, 0, 4);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`graph`] | GraphBLAS substrate, PageRank/BFS/SSSP, graph accelerator |
 //! | [`genome`] | Darwin/GACT pipeline: reads, D-SOFT, banded alignment |
 //! | [`h264`] | GOP scheduling, secure video decoder |
+//! | [`transformer`] | LLM inference: prefill/decode KV-cache growth, paged attention |
 //! | [`sim`] | `Simulation` session builder (constant-memory pipeline) + every figure of the evaluation |
 //! | [`serve`] | concurrent simulation daemon: job queue, worker pool, content-addressed result store |
 //!
@@ -90,3 +91,4 @@ pub use mgx_scalesim as scalesim;
 pub use mgx_serve as serve;
 pub use mgx_sim as sim;
 pub use mgx_trace as trace;
+pub use mgx_transformer as transformer;

@@ -103,6 +103,32 @@ fn backpressure_queue_still_completes_everything() {
     server.join().unwrap();
 }
 
+#[test]
+fn served_transformer_suite_matches_direct_evaluation() {
+    // The LLM suite through the full wire path: the served document must be
+    // byte-identical to the direct registry evaluation, and the repeat must
+    // come from the store (the digest-salt bump for Suite::Transformer is
+    // what makes that cache trustworthy across versions).
+    let server = boot(2, 8);
+    let spec = JobSpec {
+        suite: Suite::Transformer,
+        scale: Scale { dnn_batch: 1, bert_seq: 2, ..Scale::quick() },
+        schemes: vec![],
+        threads: 2,
+    };
+    let expected = direct_document(&spec);
+    let mut c = Client::connect(&server.addr).expect("connect");
+    let cold = c.run(&spec).expect("cold run");
+    assert_eq!(cold, expected, "served transformer bytes must equal the direct evaluation");
+    let before = executed(&mut c);
+    let reply = c.submit(&spec).unwrap();
+    assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(c.fetch(&spec.digest_hex()).unwrap(), expected);
+    assert_eq!(executed(&mut c), before, "the repeat must not re-simulate");
+    c.shutdown().unwrap();
+    server.join().unwrap();
+}
+
 /// Tiny-but-varied spec space. Debug-build simulation speed bounds the
 /// knobs: genome exercises the `Serial` phase mode, video the
 /// `Overlapped` one, and graph the pool fan-out over six datasets.
