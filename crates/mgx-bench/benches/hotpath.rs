@@ -23,13 +23,14 @@
 //! `tests/fastforward_equivalence.rs`, and
 //! `tests/transformer_equivalence.rs`). After the criterion groups run,
 //! summary blocks print simulated bytes/sec per path and the ratios — the
-//! numbers recorded in EXPERIMENTS.md — and every printed metric is also
-//! written to `BENCH_hotpath.json` for machine consumption.
+//! numbers recorded in EXPERIMENTS.md — plus a closed-form vs queued DRAM
+//! backend comparison, and every printed metric is also written to
+//! `BENCH_hotpath.json` for machine consumption.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use mgx_core::Scheme;
 use mgx_scalesim::ArrayConfig;
-use mgx_sim::{RunResult, SimConfig, Simulation, TxnPath};
+use mgx_sim::{DramBackend, RunResult, SimConfig, Simulation, TxnPath};
 use mgx_trace::{DataClass, MemRequest, Trace, TraceBuilder};
 use mgx_transformer::{build_decode_trace, InferenceRequest, TransformerConfig};
 use std::hint::black_box;
@@ -348,6 +349,54 @@ fn decode_fast_forward_report(report: &mut Report) {
     );
 }
 
+/// DRAM backend comparison: simulated bytes/sec per scheme on the
+/// closed-form backend vs the queued (FR-FCFS controller) backend, on the
+/// burst path. The queued backend has no burst arithmetic — it inherits
+/// the trait's scalar `access_burst` loop — so this ratio is the price of
+/// controller-queue fidelity, measured on a smaller slice of the streaming
+/// workload to keep the per-line-speed runs interactive.
+fn dram_backend_report(report: &mut Report) {
+    const BACKEND_MIB: u64 = 8;
+    let trace = stream_trace(BACKEND_MIB);
+    let mut metrics = Vec::new();
+    println!(
+        "\nDRAM backend summary ({BACKEND_MIB} MiB of 64 KiB tiles, burst path, bytes/sec simulated):"
+    );
+    println!("{:<8} {:>16} {:>14} {:>8}", "scheme", "closed-form B/s", "queued B/s", "ratio");
+    for scheme in [Scheme::NoProtection, Scheme::Mgx, Scheme::Baseline] {
+        let bytes = trace.traffic().total() as f64;
+        let time = |backend: DramBackend| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let start = Instant::now();
+                black_box(
+                    Simulation::over(&trace)
+                        .config(SimConfig::overlapped(4, 700))
+                        .txn_path(TxnPath::Burst)
+                        .dram_backend(backend)
+                        .scheme(scheme)
+                        .run()
+                        .dram_cycles,
+                );
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            bytes / best
+        };
+        let closed = time(DramBackend::ClosedForm);
+        let queued = time(DramBackend::Queued);
+        println!(
+            "{:<8} {:>16.3e} {:>14.3e} {:>7.1}×",
+            scheme.label(),
+            closed,
+            queued,
+            closed / queued
+        );
+        metrics.push((format!("{}.closed_form_bytes_per_sec", scheme.label()), closed));
+        metrics.push((format!("{}.queued_bytes_per_sec", scheme.label()), queued));
+    }
+    report.push(("dram-backend", metrics));
+}
+
 /// Dumps every reported metric as `BENCH_hotpath.json` in the working
 /// directory: `{"suite": {"metric": value, …}, …}`.
 fn write_bench_json(report: &Report) {
@@ -373,5 +422,6 @@ fn main() {
     ratio_report(&mut report);
     fast_forward_report(&mut report);
     decode_fast_forward_report(&mut report);
+    dram_backend_report(&mut report);
     write_bench_json(&report);
 }

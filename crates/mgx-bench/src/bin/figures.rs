@@ -22,6 +22,10 @@
 //! `--stats-json PATH` additionally writes the per-suite wall-clock (and,
 //! with `--fast-forward`, the memoizer counters) as one JSON document to
 //! `PATH` — stdout stays byte-identical with or without the flag.
+//! `--dram-model MODEL` selects the DRAM timing backend
+//! (`closed-form` | `queued`, default `closed-form`); the backend is part
+//! of the job digest, so `--store` never serves one model's sweep for the
+//! other.
 
 use mgx_core::MetaTraffic;
 use mgx_serve::codec::evaluated_from_json;
@@ -30,7 +34,7 @@ use mgx_sim::experiments::{
     self, dnn, genome, graph, sensitivity, transformer, video, Evaluated, FIGURE_CATALOG,
 };
 use mgx_sim::job::{JobSpec, Suite};
-use mgx_sim::{render, render_json, FastForwardStats, Figure, Scale, TxnPath};
+use mgx_sim::{render, render_json, DramBackend, FastForwardStats, Figure, Scale, TxnPath};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -65,6 +69,31 @@ fn parse_threads(args: &mut Vec<String>) -> usize {
         threads = value.parse().expect("--threads takes an integer (0 = all cores)");
     }
     threads
+}
+
+/// Extracts every `--dram-model MODEL` / `--dram-model=MODEL` from `args`
+/// (last wins), removing what it consumed. Absent → the closed-form
+/// backend, which keeps the default figures byte-identical across the
+/// backend seam.
+fn parse_dram_model(args: &mut Vec<String>) -> DramBackend {
+    let mut backend = DramBackend::ClosedForm;
+    while let Some(i) =
+        args.iter().position(|a| a == "--dram-model" || a.starts_with("--dram-model="))
+    {
+        let flag = args.remove(i);
+        let value = match flag.strip_prefix("--dram-model=") {
+            Some(v) => v.to_string(),
+            None => {
+                assert!(i < args.len(), "--dram-model needs a value (closed-form|queued)");
+                args.remove(i)
+            }
+        };
+        backend = DramBackend::from_name(&value).unwrap_or_else(|| {
+            let known: Vec<&str> = DramBackend::ALL.iter().map(|b| b.name()).collect();
+            panic!("unknown dram model `{value}` (known: {})", known.join(", "))
+        });
+    }
+    backend
 }
 
 /// Extracts every `--store DIR` / `--store=DIR` from `args` (last wins),
@@ -144,6 +173,7 @@ fn suite_evals(
     suite: Suite,
     scale: &Scale,
     threads: usize,
+    backend: DramBackend,
     store: Option<&ResultStore>,
     fast_forward: bool,
     stats: &mut Vec<SuiteStat>,
@@ -154,7 +184,7 @@ fn suite_evals(
         wall_s: start.elapsed().as_secs_f64(),
         ff,
     };
-    let spec = JobSpec::suite_sweep(suite, *scale, threads);
+    let spec = JobSpec::suite_sweep(suite, *scale, threads, backend);
     if fast_forward {
         // The memoizing path is bit-identical to the burst path, so the
         // store *could* cache it too — but the point of `--fast-forward` is
@@ -200,6 +230,7 @@ fn suite_evals(
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = parse_threads(&mut args);
+    let backend = parse_dram_model(&mut args);
     let store_dir = parse_store(&mut args);
     let stats_path = parse_stats_json(&mut args);
     if args.iter().any(|a| a == "--list") {
@@ -235,6 +266,7 @@ fn main() {
     }
 
     eprintln!("# scale: {scale:?}");
+    eprintln!("# dram model: {}", backend.name());
     eprintln!("# threads: {} ({threads} requested)", mgx_sim::parallel::resolve_threads(threads));
 
     let need_dnn_inf = ["fig3", "fig12a", "fig13a", "summary"].iter().any(|f| wants(&args, f));
@@ -245,7 +277,15 @@ fn main() {
     let mut stats: Vec<SuiteStat> = Vec::new();
     let dnn_inf: Vec<Evaluated> = if need_dnn_inf {
         eprintln!("# simulating DNN inference suite…");
-        let e = suite_evals(Suite::DnnInference, &scale, threads, store, fast_forward, &mut stats);
+        let e = suite_evals(
+            Suite::DnnInference,
+            &scale,
+            threads,
+            backend,
+            store,
+            fast_forward,
+            &mut stats,
+        );
         log_volume("DNN inference", &e);
         e
     } else {
@@ -253,7 +293,15 @@ fn main() {
     };
     let dnn_train: Vec<Evaluated> = if need_dnn_train {
         eprintln!("# simulating DNN training suite…");
-        let e = suite_evals(Suite::DnnTraining, &scale, threads, store, fast_forward, &mut stats);
+        let e = suite_evals(
+            Suite::DnnTraining,
+            &scale,
+            threads,
+            backend,
+            store,
+            fast_forward,
+            &mut stats,
+        );
         log_volume("DNN training", &e);
         e
     } else {
@@ -261,7 +309,8 @@ fn main() {
     };
     let graphs: Vec<Evaluated> = if need_graph {
         eprintln!("# simulating graph suite…");
-        let e = suite_evals(Suite::Graph, &scale, threads, store, fast_forward, &mut stats);
+        let e =
+            suite_evals(Suite::Graph, &scale, threads, backend, store, fast_forward, &mut stats);
         log_volume("graph", &e);
         e
     } else {
@@ -269,7 +318,15 @@ fn main() {
     };
     let llm: Vec<Evaluated> = if need_llm {
         eprintln!("# simulating transformer suite…");
-        let e = suite_evals(Suite::Transformer, &scale, threads, store, fast_forward, &mut stats);
+        let e = suite_evals(
+            Suite::Transformer,
+            &scale,
+            threads,
+            backend,
+            store,
+            fast_forward,
+            &mut stats,
+        );
         log_volume("transformer", &e);
         e
     } else {
@@ -299,11 +356,13 @@ fn main() {
     }
     if wants(&args, "fig16") {
         eprintln!("# simulating GACT suite…");
-        let g = suite_evals(Suite::Genome, &scale, threads, store, fast_forward, &mut stats);
+        let g =
+            suite_evals(Suite::Genome, &scale, threads, backend, store, fast_forward, &mut stats);
         print(&genome::fig16(&g));
     }
     if wants(&args, "h264") {
-        let v = suite_evals(Suite::Video, &scale, threads, store, fast_forward, &mut stats);
+        let v =
+            suite_evals(Suite::Video, &scale, threads, backend, store, fast_forward, &mut stats);
         print(&video::fig_h264(&v));
     }
     if wants(&args, "llm-traffic") {

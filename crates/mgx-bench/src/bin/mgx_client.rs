@@ -21,6 +21,7 @@
 //!   --scale S        quick|standard (default quick)
 //!   --schemes A,B    subset of NP,BP,MGX,MGX_VN,MGX_MAC (default all)
 //!   --threads N      sweep fan-out on the server (default 1)
+//!   --dram-model M   closed-form|queued DRAM timing backend (default closed-form)
 //!   --spec-json J    raw spec object (overrides the flags above)
 //!
 //! bench flags:
@@ -34,7 +35,7 @@ use mgx_serve::json::Json;
 use mgx_serve::Client;
 use mgx_sim::experiments::suite_figures;
 use mgx_sim::job::{scheme_from_label, JobSpec, Suite};
-use mgx_sim::{render_json, Scale};
+use mgx_sim::{render_json, DramBackend, Scale};
 
 fn die(msg: &str) -> ! {
     eprintln!("mgx-client: {msg}");
@@ -94,7 +95,14 @@ fn spec_from_flags(args: &mut Vec<String>, default_suite: Option<Suite>) -> JobS
     let threads = take_flag(args, "--threads")
         .map(|t| t.parse().unwrap_or_else(|_| die("--threads takes an integer")))
         .unwrap_or(1);
-    JobSpec { suite, scale, schemes, threads }.canonicalize()
+    let backend = match take_flag(args, "--dram-model") {
+        None => DramBackend::ClosedForm,
+        Some(name) => DramBackend::from_name(&name).unwrap_or_else(|| {
+            let known: Vec<&str> = DramBackend::ALL.iter().map(|b| b.name()).collect();
+            die(&format!("unknown dram model `{name}` ({})", known.join("|")))
+        }),
+    };
+    JobSpec { suite, scale, schemes, threads, backend }.canonicalize()
 }
 
 fn connect(addr: &str) -> Client {

@@ -31,6 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod model;
+pub mod queued;
+
+pub use model::{DramBackend, DramModel};
+pub use queued::{QueuedDramSim, QUEUE_DEPTH};
+
 use mgx_trace::{Dir, LINE_BYTES};
 
 /// DDR4 device and channel-topology parameters.
@@ -949,6 +955,64 @@ impl DramSim {
     /// (fast-forward replay bookkeeping).
     pub fn add_stats(&mut self, delta: DramStats) {
         self.stats += delta;
+    }
+
+    /// The row currently open in the bank `loc` names, if any — the
+    /// readiness predicate the FR-FCFS scheduler in
+    /// [`QueuedDramSim`] scans with.
+    pub(crate) fn open_row_at(&self, loc: &Loc) -> Option<u64> {
+        self.channels[loc.channel].ranks[loc.rank].banks[loc.bank].open_row
+    }
+}
+
+/// The closed-form simulator is the default [`DramModel`]: every method
+/// delegates to the inherent implementation, `access_burst` overrides the
+/// scalar-loop default with the bit-identical row-streak fast path, and
+/// the fast-forward capability tier is fully supported.
+impl DramModel for DramSim {
+    fn config(&self) -> DramConfig {
+        DramSim::config(self)
+    }
+
+    fn stats(&self) -> DramStats {
+        DramSim::stats(self)
+    }
+
+    fn decode(&self, addr: u64) -> Loc {
+        DramSim::decode(self, addr)
+    }
+
+    fn access(&mut self, arrival: u64, addr: u64, dir: Dir) -> u64 {
+        DramSim::access(self, arrival, addr, dir)
+    }
+
+    fn access_burst(&mut self, arrival: u64, addr: u64, lines: u64, dir: Dir) -> u64 {
+        DramSim::access_burst(self, arrival, addr, lines, dir)
+    }
+
+    fn reset(&mut self) {
+        DramSim::reset(self);
+    }
+
+    fn add_stats(&mut self, delta: DramStats) {
+        DramSim::add_stats(self, delta);
+    }
+
+    fn ff_digest(&self, now: u64) -> Option<u64> {
+        DramSim::ff_digest(self, now)
+    }
+
+    fn ff_snapshot(&self, now: u64) -> Option<DramSnapshot> {
+        (self.ff_supported() && now >= self.ff_min_reference())
+            .then(|| DramSim::ff_snapshot(self, now))
+    }
+
+    fn ff_restore(&mut self, snap: &DramSnapshot, now: u64) {
+        DramSim::ff_restore(self, snap, now);
+    }
+
+    fn refresh_slack(&self, now: u64) -> u64 {
+        DramSim::refresh_slack(self, now)
     }
 }
 

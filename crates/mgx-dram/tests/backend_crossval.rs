@@ -1,0 +1,196 @@
+//! Cross-validation gates between the DRAM backends.
+//!
+//! The classic failure mode when integrating a second memory simulator is
+//! a *silently* different address mapping — both backends run, both
+//! produce plausible numbers, and every bank-locality conclusion drawn
+//! from one is wrong for the other. These proptests are the gate ROADMAP
+//! item 5 mandates:
+//!
+//! 1. every backend decodes the identical address→(channel, rank, bank,
+//!    row) bit-layout on shared `DramConfig`s, power-of-two or not;
+//! 2. closed-form and queued timing agree **exactly** in the two regimes
+//!    where FR-FCFS provably degenerates to FIFO — single transactions
+//!    and contiguous ascending single-direction streams — completions and
+//!    statistics both;
+//! 3. outside those regimes the divergence is in the *documented
+//!    direction*: FR-FCFS converts interleaved row conflicts into hits
+//!    and never finishes later than the in-order model on such windows.
+
+use mgx_dram::{DramBackend, DramConfig, DramModel, DramSim, QueuedDramSim};
+use mgx_trace::{Dir, LINE_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gate 1: identical decode bit-layouts across every backend, over
+    /// power-of-two topologies (shift/mask fast path) and ragged ones
+    /// (division fallback) alike.
+    #[test]
+    fn backends_decode_identical_bit_layouts(
+        channels in 1usize..6,
+        banks in 2usize..20,
+        ranks in 1usize..4,
+        row_log in 9u32..13,
+        addrs in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let cfg = DramConfig {
+            channels,
+            banks_per_rank: banks,
+            ranks_per_channel: ranks,
+            row_bytes: 1 << row_log,
+            ..DramConfig::ddr4_2400(1)
+        };
+        let models: Vec<Box<dyn DramModel>> =
+            DramBackend::ALL.iter().map(|b| b.build(cfg)).collect();
+        let reference = DramSim::new(cfg);
+        for addr in addrs {
+            let addr = addr & !(LINE_BYTES - 1);
+            let want = reference.decode(addr);
+            for (model, backend) in models.iter().zip(DramBackend::ALL) {
+                let got = model.decode(addr);
+                prop_assert_eq!(
+                    got, want,
+                    "backend {} decodes {:#x} differently", backend.name(), addr
+                );
+            }
+        }
+    }
+
+    /// Gate 2a: on single transactions (drain after every access) the
+    /// queued backend is bit-identical to the closed form — same
+    /// completions, same statistics — over random addresses, directions,
+    /// arrival gaps, and queue depths.
+    #[test]
+    fn queued_equals_closed_form_on_single_accesses(
+        ops in proptest::collection::vec(
+            (any::<u32>(), any::<bool>(), 0u64..20_000), 1..80),
+        channels in 1usize..5,
+        depth in 1usize..64,
+    ) {
+        let cfg = DramConfig::ddr4_2400(channels);
+        let mut closed = DramSim::new(cfg);
+        let mut queued = QueuedDramSim::with_queue_depth(cfg, depth);
+        let mut arrival = 0u64;
+        for (addr, is_write, gap) in ops {
+            arrival += gap;
+            let addr = (addr as u64) & !(LINE_BYTES - 1);
+            let dir = if is_write { Dir::Write } else { Dir::Read };
+            let want = closed.access(arrival, addr, dir);
+            queued.access(arrival, addr, dir);
+            let got = queued.drain();
+            prop_assert_eq!(got, want, "single-access completion diverged");
+            prop_assert_eq!(queued.stats(), closed.stats(), "stats diverged");
+        }
+    }
+
+    /// Gate 2b: on contiguous ascending single-direction streams the
+    /// FR-FCFS pick is always the queue front (no younger entry can hit a
+    /// row whose older lines are still queued), so the queued backend is
+    /// bit-identical to `DramSim::access_burst` — which is itself proven
+    /// identical to the scalar loop. The stream ascends across windows
+    /// too, so bank state carried between drains stays inside the
+    /// provable regime.
+    #[test]
+    fn queued_equals_closed_form_on_ascending_streams(
+        bursts in proptest::collection::vec(
+            (0u64..64, 1u64..400, any::<bool>(), 0u64..10_000), 1..12),
+        channels in 1usize..5,
+        depth in 1usize..64,
+    ) {
+        let cfg = DramConfig::ddr4_2400(channels);
+        let mut closed = DramSim::new(cfg);
+        let mut queued = QueuedDramSim::with_queue_depth(cfg, depth);
+        let mut cursor = 0u64; // line index; only ever moves forward
+        let mut arrival = 0u64;
+        for (skip, lines, is_write, gap) in bursts {
+            cursor += skip;
+            arrival += gap;
+            let addr = cursor * LINE_BYTES;
+            let dir = if is_write { Dir::Write } else { Dir::Read };
+            let want = closed.access_burst(arrival, addr, lines, dir);
+            let mut got = arrival;
+            for i in 0..lines {
+                got = got.max(queued.access(arrival, addr + i * LINE_BYTES, dir));
+            }
+            got = got.max(queued.drain());
+            prop_assert_eq!(got, want, "stream completion diverged at line {}", cursor);
+            prop_assert_eq!(queued.stats(), closed.stats(), "stats diverged");
+            cursor += lines;
+        }
+    }
+
+    /// Gate 3: on interleaved row-conflict windows the backends *must*
+    /// diverge, and only in the documented direction — FR-FCFS batches
+    /// the interleave into row hits and never finishes later.
+    #[test]
+    fn fr_fcfs_divergence_is_directional(
+        interleave in 2u64..12,
+        span in 1u64..8,
+    ) {
+        let cfg = DramConfig::ddr4_2400(1);
+        let mut closed = DramSim::new(cfg);
+        let mut queued = QueuedDramSim::with_queue_depth(cfg, 256);
+        // Two rows of one bank, found by probing the shared decode.
+        let la = closed.decode(0);
+        let mut other = LINE_BYTES;
+        loop {
+            let lb = closed.decode(other);
+            if lb.bank == la.bank && lb.rank == la.rank && lb.row != la.row {
+                break;
+            }
+            other += LINE_BYTES;
+        }
+        let mut closed_done = 0u64;
+        for i in 0..interleave {
+            for base in [0, other] {
+                for j in 0..span {
+                    let addr = base + (i * span + j) * LINE_BYTES;
+                    closed_done = closed_done.max(closed.access(0, addr, Dir::Read));
+                    queued.access(0, addr, Dir::Read);
+                }
+            }
+        }
+        let queued_done = queued.drain();
+        prop_assert_eq!(queued.stats().reads, closed.stats().reads);
+        prop_assert!(
+            queued.stats().row_hits >= closed.stats().row_hits,
+            "FR-FCFS can only add hits ({} vs {})",
+            queued.stats().row_hits, closed.stats().row_hits
+        );
+        prop_assert!(
+            queued_done <= closed_done,
+            "batched service cannot finish later ({} vs {})",
+            queued_done, closed_done
+        );
+    }
+}
+
+/// The trait-object path (`DramBackend::build`) services the same stream
+/// the concrete types do — pins that the seam adds no behavior of its
+/// own.
+#[test]
+fn trait_objects_match_concrete_backends() {
+    let cfg = DramConfig::ddr4_2400(2);
+    let mut concrete_closed = DramSim::new(cfg);
+    let mut concrete_queued = QueuedDramSim::new(cfg);
+    let mut boxed: Vec<Box<dyn DramModel>> =
+        DramBackend::ALL.iter().map(|b| b.build(cfg)).collect();
+    let mut done = [0u64; 2];
+    let mut concrete_done = [0u64; 2];
+    for i in 0..256u64 {
+        let addr = i * LINE_BYTES;
+        concrete_done[0] = concrete_done[0].max(concrete_closed.access(0, addr, Dir::Read));
+        concrete_queued.access(0, addr, Dir::Read);
+        for (d, model) in done.iter_mut().zip(boxed.iter_mut()) {
+            *d = (*d).max(model.access(0, addr, Dir::Read));
+        }
+    }
+    concrete_done[1] = concrete_queued.drain();
+    for (d, model) in done.iter_mut().zip(boxed.iter_mut()) {
+        *d = (*d).max(model.drain());
+    }
+    assert_eq!(done, concrete_done);
+    assert_eq!(boxed[0].stats(), DramModel::stats(&concrete_closed));
+    assert_eq!(boxed[1].stats(), concrete_queued.stats());
+}

@@ -9,7 +9,7 @@
 
 use crate::json::Json;
 use mgx_core::{MetaTraffic, Scheme};
-use mgx_dram::DramStats;
+use mgx_dram::{DramBackend, DramStats};
 use mgx_sim::experiments::Evaluated;
 use mgx_sim::job::{scale_json, scheme_from_label, JobSpec, Suite};
 use mgx_sim::{RunResult, Scale};
@@ -21,10 +21,11 @@ pub fn spec_to_wire(spec: &JobSpec) -> String {
     let c = spec.clone().canonicalize();
     let schemes: Vec<String> = c.schemes.iter().map(|s| format!("\"{}\"", s.label())).collect();
     format!(
-        "{{\"suite\":\"{}\",\"scale\":{},\"schemes\":[{}],\"threads\":{}}}",
+        "{{\"suite\":\"{}\",\"scale\":{},\"schemes\":[{}],\"backend\":\"{}\",\"threads\":{}}}",
         c.suite.name(),
         scale_json(&c.scale),
         schemes.join(","),
+        c.backend.name(),
         c.threads
     )
 }
@@ -35,7 +36,9 @@ pub fn spec_to_wire(spec: &JobSpec) -> String {
 /// with any subset of the eight knobs (missing knobs default to
 /// [`Scale::quick`], so a tiny request stays tiny by default). `schemes`
 /// is optional (absent/empty = all five); `threads` is optional
-/// (default 1).
+/// (default 1); `backend` is optional (default `"closed-form"` — the
+/// digest-relevant DRAM timing backend, see
+/// [`mgx_sim::DramBackend`](mgx_dram::DramBackend)).
 pub fn spec_from_wire(v: &Json) -> Result<JobSpec, String> {
     let suite_name = v.get("suite").and_then(Json::as_str).ok_or("spec needs a `suite` string")?;
     let suite = Suite::from_name(suite_name).ok_or_else(|| {
@@ -64,7 +67,17 @@ pub fn spec_from_wire(v: &Json) -> Result<JobSpec, String> {
         None => 1,
         Some(t) => t.as_usize().ok_or("`threads` must be a non-negative integer")?,
     };
-    let spec = JobSpec { suite, scale, schemes, threads }.canonicalize();
+    let backend = match v.get("backend") {
+        None => DramBackend::ClosedForm,
+        Some(b) => {
+            let name = b.as_str().ok_or("`backend` must be a string")?;
+            DramBackend::from_name(name).ok_or_else(|| {
+                let known: Vec<&str> = DramBackend::ALL.iter().map(|b| b.name()).collect();
+                format!("unknown backend `{name}` (known: {})", known.join(", "))
+            })?
+        }
+    };
+    let spec = JobSpec { suite, scale, schemes, threads, backend }.canonicalize();
     spec.validate()?;
     Ok(spec)
 }
@@ -203,6 +216,7 @@ mod tests {
             scale: Scale { video_frames: 3, ..Scale::quick() },
             schemes: vec![],
             threads: 2,
+            backend: DramBackend::ClosedForm,
         }
     }
 

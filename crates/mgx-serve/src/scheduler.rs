@@ -332,7 +332,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<u64>>) {
 mod tests {
     use super::*;
     use mgx_sim::job::Suite;
-    use mgx_sim::Scale;
+    use mgx_sim::{DramBackend, Scale};
 
     fn spec(frames: usize) -> JobSpec {
         JobSpec {
@@ -340,6 +340,7 @@ mod tests {
             scale: Scale { video_frames: frames, ..Scale::quick() },
             schemes: vec![],
             threads: 1,
+            backend: DramBackend::ClosedForm,
         }
     }
 

@@ -419,7 +419,7 @@ impl Client {
 mod tests {
     use super::*;
     use mgx_sim::job::JobSpec;
-    use mgx_sim::Scale;
+    use mgx_sim::{DramBackend, Scale};
 
     fn tiny_spec(frames: usize) -> JobSpec {
         JobSpec {
@@ -427,6 +427,7 @@ mod tests {
             scale: Scale { video_frames: frames, ..Scale::quick() },
             schemes: vec![],
             threads: 1,
+            backend: DramBackend::ClosedForm,
         }
     }
 

@@ -8,6 +8,7 @@ use crate::scale::Scale;
 use mgx_core::Scheme;
 use mgx_dnn::trace::{stream_inference_trace, stream_training_trace};
 use mgx_dnn::Model;
+use mgx_dram::DramBackend;
 use mgx_scalesim::{ArrayConfig, Dataflow};
 
 /// The two accelerator setups of §VI-A.
@@ -23,6 +24,7 @@ fn evaluate(
     training: bool,
     threads: usize,
     path: TxnPath,
+    backend: DramBackend,
 ) -> (Vec<Evaluated>, FastForwardStats) {
     // Each (model, setup) sweep is independent: fan them across the pool.
     // Within a worker the five schemes stream down a single pass, so the
@@ -36,7 +38,7 @@ fn evaluate(
     let pairs = crate::parallel::map(threads, jobs, |(model, name, acfg, scfg)| {
         // Phases stream straight from the lowering into the five
         // engines — the trace is never materialized.
-        let scfg = SimConfig { txn_path: path, ..scfg };
+        let scfg = SimConfig { txn_path: path, dram_backend: backend, ..scfg };
         let sweep = if training {
             Simulation::over(stream_training_trace(&model, &acfg, Dataflow::WeightStationary))
                 .config(scfg)
@@ -69,7 +71,7 @@ pub fn evaluate_inference(scale: &Scale) -> Vec<Evaluated> {
 /// [`evaluate_inference`] with the workloads fanned across `threads` pool
 /// workers (`0` = all cores). Output is identical to the sequential run.
 pub fn evaluate_inference_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
-    evaluate_inference_path(scale, threads, TxnPath::Burst).0
+    evaluate_inference_path(scale, threads, TxnPath::Burst, DramBackend::ClosedForm).0
 }
 
 /// [`evaluate_inference_on`] on an explicit [`TxnPath`], returning the
@@ -79,6 +81,7 @@ pub fn evaluate_inference_path(
     scale: &Scale,
     threads: usize,
     path: TxnPath,
+    backend: DramBackend,
 ) -> (Vec<Evaluated>, FastForwardStats) {
     let mut models = vec![
         Model::vgg16(scale.dnn_batch),
@@ -90,7 +93,7 @@ pub fn evaluate_inference_path(
     ];
     // DLRM embedding tables must fit the protected capacity at any scale.
     models.truncate(6);
-    evaluate(models, false, threads, path)
+    evaluate(models, false, threads, path, backend)
 }
 
 /// Simulates the training suite (no DLRM, as in the paper).
@@ -101,7 +104,7 @@ pub fn evaluate_training(scale: &Scale) -> Vec<Evaluated> {
 /// [`evaluate_training`] with the workloads fanned across `threads` pool
 /// workers (`0` = all cores). Output is identical to the sequential run.
 pub fn evaluate_training_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
-    evaluate_training_path(scale, threads, TxnPath::Burst).0
+    evaluate_training_path(scale, threads, TxnPath::Burst, DramBackend::ClosedForm).0
 }
 
 /// [`evaluate_training_on`] on an explicit [`TxnPath`] with aggregate
@@ -110,6 +113,7 @@ pub fn evaluate_training_path(
     scale: &Scale,
     threads: usize,
     path: TxnPath,
+    backend: DramBackend,
 ) -> (Vec<Evaluated>, FastForwardStats) {
     let models = vec![
         Model::vgg16(scale.dnn_batch),
@@ -118,7 +122,7 @@ pub fn evaluate_training_path(
         Model::resnet50(scale.dnn_batch),
         Model::bert_base(scale.dnn_batch, scale.bert_seq),
     ];
-    evaluate(models, true, threads, path)
+    evaluate(models, true, threads, path, backend)
 }
 
 /// Fig 12a/12b: memory-traffic increase of MGX and BP.

@@ -6,6 +6,7 @@ use crate::pipeline::{PhaseMode, SimConfig, Simulation, TxnPath};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
+use mgx_dram::DramBackend;
 use mgx_genome::accel::{stream_gact_trace, GactAccelConfig, GenomeWorkload};
 
 /// Simulation setup for Darwin/GACT (§VII-A): four DDR4-2400 channels,
@@ -25,7 +26,7 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
 /// [`evaluate`] with the workloads fanned across `threads` pool workers
 /// (`0` = all cores). Output is identical to the sequential run.
 pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
-    evaluate_path(scale, threads, TxnPath::Burst).0
+    evaluate_path(scale, threads, TxnPath::Burst, DramBackend::ClosedForm).0
 }
 
 /// [`evaluate_on`] on an explicit [`TxnPath`], returning the suite's
@@ -35,9 +36,10 @@ pub fn evaluate_path(
     scale: &Scale,
     threads: usize,
     path: TxnPath,
+    backend: DramBackend,
 ) -> (Vec<Evaluated>, FastForwardStats) {
     let accel = GactAccelConfig::default();
-    let scfg = SimConfig { txn_path: path, ..setup(&accel) };
+    let scfg = SimConfig { txn_path: path, dram_backend: backend, ..setup(&accel) };
     let pairs = crate::parallel::map(threads, GenomeWorkload::suite(), |w| {
         let src = stream_gact_trace(
             &w,

@@ -6,6 +6,7 @@ use crate::pipeline::{SimConfig, Simulation, TxnPath};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
+use mgx_dram::DramBackend;
 use mgx_graph::accel::{stream_graph_trace, GraphAccelConfig, GraphWorkload};
 use mgx_graph::algorithms;
 use mgx_graph::Dataset;
@@ -26,7 +27,7 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
 /// BFS, so generation parallelizes too. Output order and bits are identical
 /// to the sequential run.
 pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
-    evaluate_path(scale, threads, TxnPath::Burst).0
+    evaluate_path(scale, threads, TxnPath::Burst, DramBackend::ClosedForm).0
 }
 
 /// [`evaluate_on`] on an explicit [`TxnPath`], returning the suite's
@@ -36,9 +37,10 @@ pub fn evaluate_path(
     scale: &Scale,
     threads: usize,
     path: TxnPath,
+    backend: DramBackend,
 ) -> (Vec<Evaluated>, FastForwardStats) {
     let accel = GraphAccelConfig::default();
-    let scfg = SimConfig { txn_path: path, ..setup() };
+    let scfg = SimConfig { txn_path: path, dram_backend: backend, ..setup() };
     let per_dataset = crate::parallel::map(threads, Dataset::suite().to_vec(), |ds| {
         let g = ds.generate(scale.graph_divisor, 0xA11CE);
         // BFS sweep count measured on the actual graph from its busiest

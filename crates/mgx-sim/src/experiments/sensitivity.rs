@@ -169,7 +169,7 @@ pub fn vn_scheme_comparison(scale: &Scale) -> Figure {
     // drive it through the raw traffic path and report it as a BP row with
     // a labelled workload.
     let mut engine = SplitCounterEngine::new(&cfg.protection);
-    let mut dram = mgx_dram::DramSim::new(cfg.dram);
+    let mut dram = cfg.dram_backend.build(cfg.dram);
     let mut now = 0u64;
     // Same fractional-carry accel→DRAM conversion as the pipeline proper,
     // and the same burst currency (reads as emitted, writes drained after
@@ -188,6 +188,7 @@ pub fn vn_scheme_comparison(scale: &Scale) -> Figure {
         for b in bursts.iter().filter(|b| !b.dir.is_read()) {
             done = done.max(dram.access_burst(now, b.addr, b.lines, b.dir));
         }
+        done = done.max(dram.drain());
         now += compute.max(done - now);
     }
     engine.flush(&mut |_| {});

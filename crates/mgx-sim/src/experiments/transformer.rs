@@ -13,6 +13,7 @@ use crate::pipeline::{SimConfig, Simulation, TxnPath};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
+use mgx_dram::DramBackend;
 use mgx_scalesim::ArrayConfig;
 use mgx_transformer::trace::{
     stream_decode_trace, stream_paged_attention_trace, stream_prefill_trace,
@@ -56,7 +57,7 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
 /// `threads` pool workers (`0` = all cores). Output order and bits are
 /// identical to the sequential run.
 pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
-    evaluate_path(scale, threads, TxnPath::Burst).0
+    evaluate_path(scale, threads, TxnPath::Burst, DramBackend::ClosedForm).0
 }
 
 /// [`evaluate_on`] on an explicit [`TxnPath`], returning the suite's
@@ -66,11 +67,12 @@ pub fn evaluate_path(
     scale: &Scale,
     threads: usize,
     path: TxnPath,
+    backend: DramBackend,
 ) -> (Vec<Evaluated>, FastForwardStats) {
     let req = request(scale);
     let paged = PagedConfig::default();
     let acfg = array();
-    let scfg = SimConfig { txn_path: path, ..setup() };
+    let scfg = SimConfig { txn_path: path, dram_backend: backend, ..setup() };
     let jobs: Vec<(TransformerConfig, &'static str)> =
         models().iter().flat_map(|&m| STAGES.map(|s| (m, s))).collect();
     let per_job = crate::parallel::map(threads, jobs, move |(m, stage)| {

@@ -10,6 +10,7 @@ use crate::pipeline::{SimConfig, Simulation, TxnPath};
 use crate::report::Figure;
 use crate::scale::Scale;
 use mgx_core::Scheme;
+use mgx_dram::DramBackend;
 use mgx_h264::decoder::{stream_decode_trace, DecoderConfig};
 use mgx_h264::GopStructure;
 
@@ -28,7 +29,7 @@ pub fn evaluate(scale: &Scale) -> Vec<Evaluated> {
 /// inside the sweep ([`Simulation::parallel`]) rather than from the
 /// workload pool. Output is identical to the sequential run.
 pub fn evaluate_on(scale: &Scale, threads: usize) -> Vec<Evaluated> {
-    evaluate_path(scale, threads, TxnPath::Burst).0
+    evaluate_path(scale, threads, TxnPath::Burst, DramBackend::ClosedForm).0
 }
 
 /// [`evaluate_on`] on an explicit [`TxnPath`], returning the decode's
@@ -38,10 +39,11 @@ pub fn evaluate_path(
     scale: &Scale,
     threads: usize,
     path: TxnPath,
+    backend: DramBackend,
 ) -> (Vec<Evaluated>, FastForwardStats) {
     let gop = GopStructure::ibpb(scale.video_frames);
     let src = stream_decode_trace(&gop, &DecoderConfig::default());
-    let cfg = SimConfig { txn_path: path, ..setup() };
+    let cfg = SimConfig { txn_path: path, dram_backend: backend, ..setup() };
     let (results, stats) = super::split_sweep(
         Simulation::over(src).config(cfg).parallel(threads).run_all_with_stats(),
     );

@@ -12,7 +12,7 @@
 //! 1. Each phase is fingerprinted by mixing its structural signature
 //!    ([`Phase::signature`]: requests, sizes, directions, compute) with the
 //!    engine's microstate digest ([`ProtectionEngine::ff_digest`]) and the
-//!    DRAM's *time-relative* microstate digest (`DramSim::ff_digest`, which
+//!    DRAM's *time-relative* microstate digest (`DramModel::ff_digest`, which
 //!    floors ready/bus times at the phase start — exactly the encoding under
 //!    which equal states behave shift-identically).
 //! 2. A fingerprint seen for the **second** time is recorded: the phase is

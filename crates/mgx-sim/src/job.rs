@@ -23,6 +23,7 @@ use crate::fastfwd::FastForwardStats;
 use crate::pipeline::{RunResult, TxnPath};
 use crate::scale::Scale;
 use mgx_core::Scheme;
+use mgx_dram::DramBackend;
 
 /// The workload suites a job can request — exactly the experiment-registry
 /// entry points the `figures` binary drives, so a served result is always
@@ -106,13 +107,17 @@ pub struct JobSpec {
     /// Workload-pool fan-out for the sweep (`0` = all cores). Changes
     /// wall-clock only; excluded from the canonical form and the digest.
     pub threads: usize,
+    /// DRAM timing backend. Unlike `threads` or the transaction path this
+    /// changes result *bits* (the queued backend reorders transactions),
+    /// so it is part of the canonical form and the content digest.
+    pub backend: DramBackend,
 }
 
 impl JobSpec {
     /// A full five-scheme sweep of `suite` — what the `figures` binary
     /// consumes per suite.
-    pub fn suite_sweep(suite: Suite, scale: Scale, threads: usize) -> Self {
-        Self { suite, scale, schemes: Scheme::ALL.to_vec(), threads }
+    pub fn suite_sweep(suite: Suite, scale: Scale, threads: usize, backend: DramBackend) -> Self {
+        Self { suite, scale, schemes: Scheme::ALL.to_vec(), threads, backend }
     }
 
     /// Rejects knob combinations the experiment modules cannot run
@@ -154,16 +159,17 @@ impl JobSpec {
     }
 
     /// The canonical wire form of everything that determines result bits
-    /// (suite, scale knobs, scheme set — **not** `threads`). Two specs
-    /// digest equal iff this string is equal.
+    /// (suite, scale knobs, scheme set, DRAM backend — **not** `threads`).
+    /// Two specs digest equal iff this string is equal.
     pub fn canonical_json(&self) -> String {
         let c = self.clone().canonicalize();
         let schemes: Vec<String> = c.schemes.iter().map(|s| format!("\"{}\"", s.label())).collect();
         format!(
-            "{{\"suite\":\"{}\",\"scale\":{},\"schemes\":[{}]}}",
+            "{{\"suite\":\"{}\",\"scale\":{},\"schemes\":[{}],\"backend\":\"{}\"}}",
             c.suite.name(),
             scale_json(&c.scale),
-            schemes.join(",")
+            schemes.join(","),
+            c.backend.name()
         )
     }
 
@@ -193,15 +199,18 @@ impl JobSpec {
     /// [`JobSpec::execute`] on an explicit [`TxnPath`], with the suite's
     /// aggregate fast-forward counters. All three paths produce
     /// bit-identical `Evaluated` results — the path (like `threads`) is an
-    /// execution knob, never part of the job identity or digest.
+    /// execution knob, never part of the job identity or digest. The DRAM
+    /// backend, by contrast, rides in from the spec: it *does* change
+    /// bits, which is exactly why it lives in the digest.
     pub fn execute_path(&self, path: TxnPath) -> (Vec<Evaluated>, FastForwardStats) {
+        let (scale, threads, b) = (&self.scale, self.threads, self.backend);
         match self.suite {
-            Suite::DnnInference => dnn::evaluate_inference_path(&self.scale, self.threads, path),
-            Suite::DnnTraining => dnn::evaluate_training_path(&self.scale, self.threads, path),
-            Suite::Graph => graph::evaluate_path(&self.scale, self.threads, path),
-            Suite::Genome => genome::evaluate_path(&self.scale, self.threads, path),
-            Suite::Video => video::evaluate_path(&self.scale, self.threads, path),
-            Suite::Transformer => transformer::evaluate_path(&self.scale, self.threads, path),
+            Suite::DnnInference => dnn::evaluate_inference_path(scale, threads, path, b),
+            Suite::DnnTraining => dnn::evaluate_training_path(scale, threads, path, b),
+            Suite::Graph => graph::evaluate_path(scale, threads, path, b),
+            Suite::Genome => genome::evaluate_path(scale, threads, path, b),
+            Suite::Video => video::evaluate_path(scale, threads, path, b),
+            Suite::Transformer => transformer::evaluate_path(scale, threads, path, b),
         }
     }
 
@@ -318,6 +327,7 @@ mod tests {
             scale: Scale { video_frames: 4, ..Scale::quick() },
             schemes: vec![],
             threads: 1,
+            backend: DramBackend::ClosedForm,
         }
     }
 
@@ -398,6 +408,32 @@ mod tests {
         let old_digest =
             fnv1a(fnv1a(FNV_OFFSET, old_salt.as_bytes()), spec.canonical_json().as_bytes());
         assert_ne!(spec.digest(), old_digest, "stale pre-transformer store keys must not resolve");
+    }
+
+    #[test]
+    fn dram_backend_is_part_of_the_job_identity() {
+        // The queued backend reorders transactions — different bits, so a
+        // queued job must never be served a closed-form store entry.
+        let spec = tiny_video_spec();
+        let queued = JobSpec { backend: DramBackend::Queued, ..tiny_video_spec() };
+        assert_ne!(spec.digest(), queued.digest());
+        assert!(spec.canonical_json().contains("\"backend\":\"closed-form\""));
+        assert!(queued.canonical_json().contains("\"backend\":\"queued\""));
+    }
+
+    #[test]
+    fn backend_era_digests_diverge_from_the_pre_backend_salt() {
+        // Stale-store poisoning guard for the DramModel refactor: the
+        // 0.2.0 build digested specs without a `backend` field, so even a
+        // default closed-form spec must not resolve keys an 0.2.0 store
+        // wrote (the canonical JSON changed shape *and* the salt moved).
+        // If this fails, the version was rolled back across the refactor.
+        let old_salt = "mgx-job/0.2.0";
+        assert_ne!(DIGEST_SALT, old_salt, "the DramModel seam requires a version bump");
+        let spec = tiny_video_spec();
+        let old_digest =
+            fnv1a(fnv1a(FNV_OFFSET, old_salt.as_bytes()), spec.canonical_json().as_bytes());
+        assert_ne!(spec.digest(), old_digest, "stale pre-backend store keys must not resolve");
     }
 
     #[test]

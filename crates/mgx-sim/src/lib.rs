@@ -6,8 +6,10 @@
 //! [`mgx_trace::Trace`]); a [`mgx_core::ProtectionEngine`] expands it into
 //! data + metadata DRAM transactions — batched as contiguous
 //! [`mgx_core::LineBurst`]s on the default [`TxnPath::Burst`] hot path;
-//! [`mgx_dram::DramSim`] assigns them time (closed-form row-streak
-//! arithmetic per burst); and the [`pipeline::Simulation`] session builder
+//! a pluggable [`mgx_dram::DramModel`] backend assigns them time (the
+//! default [`DramBackend::ClosedForm`] uses row-streak arithmetic per
+//! burst; [`DramBackend::Queued`] adds FR-FCFS controller queuing); and
+//! the [`pipeline::Simulation`] session builder
 //! folds everything into execution time and traffic per scheme, consuming
 //! one phase at a time so footprint is independent of workload length.
 //!
@@ -33,6 +35,7 @@ pub mod report;
 pub mod scale;
 
 pub use fastfwd::FastForwardStats;
+pub use mgx_dram::DramBackend;
 pub use pipeline::{PhaseMode, RunResult, SimConfig, Simulation, TxnPath};
 pub use report::{render, render_json, Figure, Row};
 pub use scale::Scale;

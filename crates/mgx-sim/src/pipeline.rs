@@ -13,7 +13,7 @@
 
 use crate::fastfwd::{ClassDelta, FastForward, FastForwardStats};
 use mgx_core::{scheme_engine, LineBurst, MetaTraffic, ProtectionConfig, Scheme};
-use mgx_dram::{DramConfig, DramSim, DramStats};
+use mgx_dram::{DramBackend, DramConfig, DramModel, DramStats};
 use mgx_trace::{Fnv64, Phase, RegionMap, TraceSource};
 
 /// How a phase's compute and memory relate in time.
@@ -43,11 +43,15 @@ pub enum PhaseMode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TxnPath {
     /// Engines emit contiguous [`LineBurst`]s, serviced by
-    /// `DramSim::access_burst`'s closed-form row-streak arithmetic.
+    /// `DramModel::access_burst`. On the closed-form backend that is the
+    /// row-streak arithmetic fast path; a backend without a faster
+    /// equivalent inherits the trait's scalar-loop default, so this path
+    /// degrades gracefully (same bits as [`TxnPath::PerLine`], fewer
+    /// engine callbacks) instead of being closed-form-only.
     #[default]
     Burst,
-    /// One virtual callback plus one scalar `DramSim::access` per 64-byte
-    /// line — the original hot loop, retained as the reference.
+    /// One virtual callback plus one scalar `DramModel::access` per
+    /// 64-byte line — the original hot loop, retained as the reference.
     PerLine,
     /// Phase-signature memoization: repeated (phase, engine state, DRAM
     /// state) equivalence classes replay their recorded timing/traffic
@@ -70,6 +74,12 @@ pub struct SimConfig {
     pub protection: ProtectionConfig,
     /// Transaction granularity (burst fast path vs per-line reference).
     pub txn_path: TxnPath,
+    /// Which [`DramModel`] implementation services the transactions.
+    /// [`DramBackend::ClosedForm`] is the default behind every published
+    /// figure; [`DramBackend::Queued`] adds controller queuing with
+    /// FR-FCFS reordering (different timing by design — the backend is
+    /// part of the job digest).
+    pub dram_backend: DramBackend,
 }
 
 impl SimConfig {
@@ -81,6 +91,7 @@ impl SimConfig {
             mode: PhaseMode::Overlapped,
             protection: ProtectionConfig::default(),
             txn_path: TxnPath::Burst,
+            dram_backend: DramBackend::ClosedForm,
         }
     }
 
@@ -141,7 +152,10 @@ impl RunResult {
 pub(crate) struct SchemeRun {
     scheme: Scheme,
     engine: Box<dyn mgx_core::ProtectionEngine>,
-    dram: DramSim,
+    /// The timing backend, held behind the [`DramModel`] seam: the
+    /// pipeline never names a concrete simulator, so swapping backends
+    /// is a [`SimConfig::dram_backend`] knob rather than a code change.
+    dram: Box<dyn DramModel>,
     mode: ModeState,
     /// Fractional accel→DRAM cycle remainder carried across phases (see
     /// [`SimConfig::to_dram`]).
@@ -187,7 +201,7 @@ impl SchemeRun {
         Self {
             scheme,
             engine: scheme_engine(scheme, regions, &cfg.protection),
-            dram: DramSim::new(cfg.dram),
+            dram: cfg.dram_backend.build(cfg.dram),
             mode,
             carry: 0,
             write_buf: Vec::new(),
@@ -236,7 +250,10 @@ impl SchemeRun {
         for b in write_buf.drain(..) {
             done = done.max(dram.access_burst(start, b.addr, b.lines, b.dir));
         }
-        done
+        // Phase boundary: queueing backends service their deferred
+        // transactions here (the legal reorder window — every transaction
+        // above shared `start`). Immediate backends return 0 (no-op).
+        done.max(dram.drain())
     }
 
     /// The scalar reference path.
@@ -256,7 +273,7 @@ impl SchemeRun {
         for b in write_buf.drain(..) {
             done = done.max(dram.access(start, b.addr, b.dir));
         }
-        done
+        done.max(dram.drain())
     }
 
     /// The memoizing path: replay a recorded equivalence class when every
@@ -268,7 +285,9 @@ impl SchemeRun {
         // Fingerprint = phase structure ⊕ engine microstate ⊕ time-relative
         // DRAM microstate. Either digest can decline (engine opted out, run
         // too young for exact relative encoding, DRAM timing outside the
-        // supported envelope) — that phase simply runs at burst speed.
+        // supported envelope, or a backend — e.g. the queued one — that
+        // cannot encode its microstate at all) — that phase simply runs at
+        // burst speed: the fallback costs hit rate, never bits.
         let key = match (self.engine.ff_digest(), self.dram.ff_digest(start)) {
             (Some(engine_digest), Some(dram_digest)) => {
                 let mut h = Fnv64::new();
@@ -317,8 +336,9 @@ impl SchemeRun {
         // A refresh inside the recording would bake an absolute-time event
         // into the "relative" delta — such phases are not recordable.
         if dram_delta.refreshes == 0 {
-            if let Some(engine_post) = self.engine.ff_snapshot() {
-                let dram_post = self.dram.ff_snapshot(start);
+            if let (Some(engine_post), Some(dram_post)) =
+                (self.engine.ff_snapshot(), self.dram.ff_snapshot(start))
+            {
                 let horizon = dram_post.horizon();
                 self.ff.record(
                     key,
@@ -378,6 +398,7 @@ impl SchemeRun {
         self.engine.flush(&mut |txn| {
             final_done = final_done.max(dram.access(end, txn.addr, txn.dir));
         });
+        final_done = final_done.max(dram.drain());
         RunResult {
             scheme: self.scheme,
             dram_cycles: final_done,
@@ -473,6 +494,15 @@ impl<S: TraceSource> Simulation<S> {
     /// bit-identical either way.
     pub fn txn_path(mut self, path: TxnPath) -> Self {
         self.cfg.txn_path = path;
+        self
+    }
+
+    /// Selects the DRAM timing backend ([`DramBackend::ClosedForm`] by
+    /// default). [`DramBackend::Queued`] models controller queuing with
+    /// FR-FCFS reordering — a *different* (higher-fidelity) timing
+    /// answer, not a bit-identical alternative path.
+    pub fn dram_backend(mut self, backend: DramBackend) -> Self {
+        self.cfg.dram_backend = backend;
         self
     }
 
@@ -794,6 +824,28 @@ mod tests {
             );
             assert!(stats.recorded > 0, "{:?}: classes must be recorded", b.scheme);
         }
+    }
+
+    #[test]
+    fn queued_backend_runs_end_to_end_with_identical_traffic() {
+        // The queued backend changes *when* lines complete, never *which*
+        // lines move: traffic and access counts must match the closed-form
+        // run exactly, while timing is free to differ.
+        let trace = stream_trace(2, 25);
+        let closed = Simulation::over(&trace).config(cfg()).run_all();
+        let queued =
+            Simulation::over(&trace).config(cfg()).dram_backend(DramBackend::Queued).run_all();
+        for (c, q) in closed.iter().zip(&queued) {
+            assert_eq!(c.scheme, q.scheme);
+            assert_eq!(c.traffic, q.traffic, "{:?} traffic diverged", c.scheme);
+            assert_eq!(c.dram.reads, q.dram.reads, "{:?} read count diverged", c.scheme);
+            assert_eq!(c.dram.writes, q.dram.writes, "{:?} write count diverged", c.scheme);
+            assert!(q.dram_cycles > 0 && q.exec_ns > 0.0, "{:?} produced no timing", c.scheme);
+        }
+        // Scheme ordering survives the backend swap: queuing refines the
+        // timing model, it does not reorder the paper's headline result.
+        let t: Vec<u64> = queued.iter().map(|r| r.dram_cycles).collect();
+        assert!(t[0] < t[2] && t[2] < t[1], "NP < MGX < BP must hold on the queued backend");
     }
 
     #[test]

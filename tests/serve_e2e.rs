@@ -15,7 +15,7 @@ use mgx::core::Scheme;
 use mgx::serve::json::Json;
 use mgx::serve::{spawn, Client, SchedulerConfig, ServerConfig, StoreConfig};
 use mgx::sim::job::{JobSpec, Suite};
-use mgx::sim::Scale;
+use mgx::sim::{DramBackend, Scale};
 use proptest::prelude::*;
 
 fn boot(workers: usize, queue: usize) -> mgx::serve::Handle {
@@ -41,7 +41,13 @@ fn direct_document(spec: &JobSpec) -> String {
 #[test]
 fn quick_scale_server_answers_eight_concurrent_connections_bit_identically() {
     let server = boot(2, 16);
-    let spec = JobSpec { suite: Suite::Video, scale: Scale::quick(), schemes: vec![], threads: 1 };
+    let spec = JobSpec {
+        suite: Suite::Video,
+        scale: Scale::quick(),
+        schemes: vec![],
+        threads: 1,
+        backend: DramBackend::ClosedForm,
+    };
     let expected = direct_document(&spec);
     // Eight clients race the same submission; single-flight coalescing
     // must reduce them to exactly one simulation.
@@ -85,6 +91,7 @@ fn backpressure_queue_still_completes_everything() {
             scale: Scale { video_frames: frames, ..Scale::quick() },
             schemes: vec![],
             threads: 1,
+            backend: DramBackend::ClosedForm,
         })
         .collect();
     std::thread::scope(|s| {
@@ -115,6 +122,7 @@ fn served_transformer_suite_matches_direct_evaluation() {
         scale: Scale { dnn_batch: 1, bert_seq: 2, ..Scale::quick() },
         schemes: vec![],
         threads: 2,
+        backend: DramBackend::ClosedForm,
     };
     let expected = direct_document(&spec);
     let mut c = Client::connect(&server.addr).expect("connect");
@@ -151,6 +159,7 @@ fn spec_strategy() -> impl Strategy<Value = JobSpec> {
                 scale,
                 schemes: scheme_idx.into_iter().map(|i| Scheme::ALL[i]).collect(),
                 threads: [1usize, 2, 4][threads_idx],
+                backend: DramBackend::ClosedForm,
             }
         },
     )

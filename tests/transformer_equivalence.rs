@@ -21,7 +21,7 @@ use common::{
     config_for,
 };
 use mgx::scalesim::ArrayConfig;
-use mgx::sim::{PhaseMode, Scale, Simulation, TxnPath};
+use mgx::sim::{DramBackend, PhaseMode, Scale, Simulation, TxnPath};
 use mgx::trace::Trace;
 use mgx::transformer::{
     build_decode_trace, build_paged_attention_trace, build_prefill_trace, stream_decode_trace,
@@ -213,13 +213,13 @@ proptest! {
         bert_seq in 2u64..5,
     ) {
         let scale = Scale { dnn_batch, bert_seq, ..Scale::quick() };
-        let (reference, _) = transformer::evaluate_path(&scale, 1, TxnPath::Burst);
+        let (reference, _) = transformer::evaluate_path(&scale, 1, TxnPath::Burst, DramBackend::ClosedForm);
         for path in [TxnPath::Burst, TxnPath::PerLine, TxnPath::FastForward] {
             for threads in [1usize, 4] {
                 if path == TxnPath::Burst && threads == 1 {
                     continue;
                 }
-                let (got, _) = transformer::evaluate_path(&scale, threads, path);
+                let (got, _) = transformer::evaluate_path(&scale, threads, path, DramBackend::ClosedForm);
                 prop_assert_eq!(reference.len(), got.len());
                 for (r, o) in reference.iter().zip(&got) {
                     prop_assert_eq!(&r.workload, &o.workload);
