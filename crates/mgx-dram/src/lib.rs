@@ -700,8 +700,16 @@ impl DramSim {
     /// Services `count` lines on one channel: the global line ids
     /// `start_line, start_line + channels, …`, i.e. consecutive lines in
     /// the channel's local address space. See [`DramSim::access_burst`]
-    /// for the exactness argument.
-    fn burst_on_channel(&mut self, arrival: u64, start_line: u64, count: u64, dir: Dir) -> u64 {
+    /// for the exactness argument. Crate-visible so the queued backend's
+    /// burst-aware service loop retires whole row streaks through the
+    /// same closed-form arithmetic.
+    pub(crate) fn burst_on_channel(
+        &mut self,
+        arrival: u64,
+        start_line: u64,
+        count: u64,
+        dir: Dir,
+    ) -> u64 {
         let cfg = self.cfg;
         let channels = cfg.channels as u64;
         let lpr = cfg.lines_per_row();

@@ -84,9 +84,11 @@ pub trait DramModel: Send {
     /// line-aligned `addr`, all queued at `arrival`.
     ///
     /// The default is the scalar reference loop, so any backend is
-    /// burst-capable; backends with a faster equivalent (the closed-form
-    /// row-streak in [`DramSim`](crate::DramSim)) override it. Callers
-    /// may assume nothing beyond "bit-identical to the loop".
+    /// burst-capable; backends with a faster equivalent override it —
+    /// the closed-form row-streak in [`DramSim`](crate::DramSim), and the
+    /// run-granular FR-FCFS service loop in
+    /// [`QueuedDramSim`](crate::QueuedDramSim) built on top of it.
+    /// Callers may assume nothing beyond "bit-identical to the loop".
     fn access_burst(&mut self, arrival: u64, addr: u64, lines: u64, dir: Dir) -> u64 {
         let mut done = arrival;
         for i in 0..lines {
@@ -161,7 +163,8 @@ pub enum DramBackend {
     ClosedForm,
     /// The queued bank-state backend ([`QueuedDramSim`](crate::QueuedDramSim)):
     /// bounded per-channel controller queues with FR-FCFS reordering over
-    /// the same DDR4 timing substrate.
+    /// the same DDR4 timing substrate, serviced run-granularly through
+    /// the closed-form burst arithmetic.
     Queued,
 }
 

@@ -120,6 +120,47 @@ proptest! {
         }
     }
 
+    /// Gate 4: the run-granular burst service loop in the queued backend
+    /// is bit-identical to the per-line reference discipline — `lines`
+    /// scalar `access` calls on an identically-configured twin — over
+    /// random run placements (revisits, overlaps, row interleaves),
+    /// directions, arrival gaps, drain points, and the queue depths that
+    /// exercise both the pure-drain and the overflow-emulation paths.
+    /// Completions, full `DramStats` (row hits included), and queue
+    /// occupancy all have to match exactly; this is the gate behind the
+    /// "bit-identical by construction" claim in `queued.rs`.
+    #[test]
+    fn queued_burst_equals_queued_per_line(
+        ops in proptest::collection::vec(
+            ((0u64..2_048, 1u64..200), (any::<bool>(), 0u64..10_000), any::<bool>()), 1..24),
+        channels in 1usize..4,
+        depth_idx in 0usize..3,
+    ) {
+        let depth = [1usize, 4, 32][depth_idx];
+        let cfg = DramConfig::ddr4_2400(channels);
+        let mut by_burst = QueuedDramSim::with_queue_depth(cfg, depth);
+        let mut by_line = QueuedDramSim::with_queue_depth(cfg, depth);
+        let mut arrival = 0u64;
+        for ((line, lines), (is_write, gap), drain) in ops {
+            arrival += gap;
+            let addr = line * LINE_BYTES;
+            let dir = if is_write { Dir::Write } else { Dir::Read };
+            let got = by_burst.access_burst(arrival, addr, lines, dir);
+            let mut want = arrival;
+            for i in 0..lines {
+                want = want.max(by_line.access(arrival, addr + i * LINE_BYTES, dir));
+            }
+            prop_assert_eq!(got, want, "in-window completion bound diverged");
+            prop_assert_eq!(by_burst.queued(), by_line.queued(), "queue occupancy diverged");
+            prop_assert_eq!(by_burst.stats(), by_line.stats(), "overflow-service stats diverged");
+            if drain {
+                prop_assert_eq!(by_burst.drain(), by_line.drain(), "drain completion diverged");
+            }
+        }
+        prop_assert_eq!(by_burst.drain(), by_line.drain(), "final drain diverged");
+        prop_assert_eq!(by_burst.stats(), by_line.stats(), "final stats diverged");
+    }
+
     /// Gate 3: on interleaved row-conflict windows the backends *must*
     /// diverge, and only in the documented direction — FR-FCFS batches
     /// the interleave into row hits and never finishes later.

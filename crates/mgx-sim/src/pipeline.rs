@@ -44,10 +44,13 @@ pub enum PhaseMode {
 pub enum TxnPath {
     /// Engines emit contiguous [`LineBurst`]s, serviced by
     /// `DramModel::access_burst`. On the closed-form backend that is the
-    /// row-streak arithmetic fast path; a backend without a faster
-    /// equivalent inherits the trait's scalar-loop default, so this path
-    /// degrades gracefully (same bits as [`TxnPath::PerLine`], fewer
-    /// engine callbacks) instead of being closed-form-only.
+    /// row-streak arithmetic fast path; the queued backend overrides it
+    /// too (run-granular queue entries, streaks retired through the same
+    /// closed-form arithmetic, bit-identical to its per-line service
+    /// order); a backend without a faster equivalent inherits the trait's
+    /// scalar-loop default, so this path degrades gracefully (same bits
+    /// as [`TxnPath::PerLine`], fewer engine callbacks) instead of being
+    /// closed-form-only.
     #[default]
     Burst,
     /// One virtual callback plus one scalar `DramModel::access` per
@@ -285,9 +288,10 @@ impl SchemeRun {
         // Fingerprint = phase structure ⊕ engine microstate ⊕ time-relative
         // DRAM microstate. Either digest can decline (engine opted out, run
         // too young for exact relative encoding, DRAM timing outside the
-        // supported envelope, or a backend — e.g. the queued one — that
-        // cannot encode its microstate at all) — that phase simply runs at
-        // burst speed: the fallback costs hit rate, never bits.
+        // supported envelope, or a backend with microstate the snapshot
+        // cannot encode — e.g. the queued one mid-window, before its
+        // drained-empty boundary) — that phase simply runs at burst speed:
+        // the fallback costs hit rate, never bits.
         let key = match (self.engine.ff_digest(), self.dram.ff_digest(start)) {
             (Some(engine_digest), Some(dram_digest)) => {
                 let mut h = Fnv64::new();

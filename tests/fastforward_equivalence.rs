@@ -79,3 +79,54 @@ fn monotonic_stream_never_replays() {
     let stats = assert_ff_identical_with_stats(&stream_trace(64), &cfg, "stream-miss");
     assert_eq!(stats.hits, 0, "a non-recurring stream must not replay");
 }
+
+#[test]
+fn queued_backend_fast_forward_replays_bit_identically() {
+    // The queued backend opts into fast-forward at drained-empty phase
+    // boundaries: digests must come back `Some` there, replays must
+    // engage on recurring shapes, and a hit must stay indistinguishable
+    // from simulating the phase — on the reordering backend too.
+    for mode in common::all_modes() {
+        let mut cfg = config_for(mode);
+        cfg.dram_backend = mgx::dram::DramBackend::Queued;
+        let stats = assert_ff_identical_with_stats(&ping_pong_trace(128), &cfg, "queued-pp");
+        assert!(
+            stats.hits > 0,
+            "{mode:?}: drained-empty boundaries must yield Some digests and replay \
+             (got {} hits / {} phases)",
+            stats.hits,
+            stats.phases()
+        );
+        assert!(stats.recorded > 0, "{mode:?}: no classes recorded on the queued backend");
+    }
+}
+
+#[test]
+fn queued_backend_fast_forward_survives_adversarial_shapes() {
+    // Mixed fingerprints and refresh-straddling gaps on the queued
+    // backend: replay or fall back, the bits must not move.
+    let mut cfg = config_for(PhaseMode::Overlapped);
+    cfg.dram_backend = mgx::dram::DramBackend::Queued;
+    assert_ff_identical_with_stats(&interleaved_trace(96), &cfg, "queued-mix");
+    assert_ff_identical_with_stats(&refresh_gap_trace(48, 2_000_000), &cfg, "queued-gap");
+    assert_ff_identical_with_stats(&frame_ring_trace(96), &cfg, "queued-ring");
+}
+
+#[test]
+fn queued_backend_refuses_fast_forward_mid_window() {
+    // With transactions still queued, every capability must refuse:
+    // digest/snapshot `None` and the conservative `refresh_slack == 0`
+    // (which rejects every replay window). Drained, all three delegate.
+    use mgx::dram::{DramConfig, DramModel, QueuedDramSim};
+    use mgx::trace::Dir;
+    let mut q = QueuedDramSim::new(DramConfig::ddr4_2400(2));
+    q.access(0, 0, Dir::Read);
+    let now = 2048; // past ff_min_reference, inside the first tREFI window
+    assert_eq!(q.ff_digest(now), None, "non-empty queue must not fingerprint");
+    assert!(q.ff_snapshot(now).is_none(), "non-empty queue must not snapshot");
+    assert_eq!(q.refresh_slack(now), 0, "non-empty queue must refuse every replay window");
+    q.drain();
+    assert!(q.ff_digest(now).is_some(), "drained-empty boundary must fingerprint");
+    assert!(q.ff_snapshot(now).is_some(), "drained-empty boundary must snapshot");
+    assert!(q.refresh_slack(now) > 0, "drained-empty boundary regains its slack");
+}
