@@ -19,24 +19,29 @@
 //! runs every suite on the phase-memoizing `TxnPath::FastForward` path
 //! (bypassing the store) and reports per-suite hit rates on stderr; the
 //! figures on stdout are byte-identical to a run without the flag.
-//! `--stats-json PATH` additionally writes the per-suite wall-clock (and,
-//! with `--fast-forward`, the memoizer counters) as one JSON document to
-//! `PATH` — stdout stays byte-identical with or without the flag.
+//! `--stats-json PATH` additionally writes the run's full observability
+//! registry (per-suite wall-clock histograms, fast-forward counters,
+//! per-scheme simulated-bytes/DRAM-cycle totals, store hit/miss counters)
+//! as one JSON document to `PATH` — stdout stays byte-identical with or
+//! without the flag. The stderr hit-rate notes, the side-file, and a
+//! serve daemon's `metrics` op all render the same `mgx_*` counter
+//! families, so the three surfaces cannot disagree.
 //! `--dram-model MODEL` selects the DRAM timing backend
 //! (`closed-form` | `queued`, default `closed-form`); the backend is part
 //! of the job digest, so `--store` never serves one model's sweep for the
 //! other.
 
 use mgx_core::MetaTraffic;
+use mgx_obs::registry::labeled;
+use mgx_obs::Registry;
 use mgx_serve::codec::evaluated_from_json;
 use mgx_serve::{ResultStore, StoreConfig};
 use mgx_sim::experiments::{
     self, dnn, genome, graph, sensitivity, transformer, video, Evaluated, FIGURE_CATALOG,
 };
 use mgx_sim::job::{JobSpec, Suite};
-use mgx_sim::{render, render_json, DramBackend, FastForwardStats, Figure, Scale, TxnPath};
+use mgx_sim::{render, render_json, DramBackend, Figure, Scale, TxnPath};
 use std::path::PathBuf;
-use std::time::Instant;
 
 fn wants(args: &[String], id: &str) -> bool {
     args.iter().any(|a| a == id || a == "all")
@@ -132,43 +137,19 @@ fn parse_stats_json(args: &mut Vec<String>) -> Option<PathBuf> {
     path
 }
 
-/// One `--stats-json` record: a suite's wall-clock and (on the
-/// fast-forward path) its memoizer counters.
-struct SuiteStat {
-    suite: &'static str,
-    wall_s: f64,
-    ff: Option<FastForwardStats>,
-}
-
-fn stats_json(scale_label: &str, threads: usize, stats: &[SuiteStat]) -> String {
-    let mut out = format!("{{\"scale\":\"{scale_label}\",\"threads\":{threads},\"suites\":[");
-    for (i, s) in stats.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("{{\"suite\":\"{}\",\"wall_s\":{:.3}", s.suite, s.wall_s));
-        if let Some(ff) = &s.ff {
-            out.push_str(&format!(
-                ",\"fast_forward\":{{\"hits\":{},\"misses\":{},\"fallbacks\":{},\
-                 \"recorded\":{},\"hit_rate\":{:.4}}}",
-                ff.hits,
-                ff.misses,
-                ff.fallbacks,
-                ff.recorded,
-                ff.hit_rate()
-            ));
-        }
-        out.push('}');
-    }
-    out.push_str("]}");
-    out
+/// Reads a per-suite `mgx_ff_*` counter back out of the registry.
+fn ff_counter(registry: &Registry, name: &str, suite: Suite) -> u64 {
+    registry.counter_value(&labeled(name, &[("suite", suite.name())])).unwrap_or(0)
 }
 
 /// Runs (or reloads) one suite's five-scheme sweep, routed through the
 /// content-addressed store when `--store` is set. The digest covers the
 /// scale knobs and the simulator version, so a hit is exactly the sweep
-/// this invocation would have produced. Each call appends the suite's
-/// wall-clock (and fast-forward counters, when on that path) to `stats`.
+/// this invocation would have produced. Every sweep records into
+/// `registry` (wall-clock, fast-forward counters, per-scheme totals), and
+/// the stderr notes *read back* from it — the `--stats-json` side-file
+/// renders the identical atomics, so the two surfaces agree by
+/// construction.
 fn suite_evals(
     suite: Suite,
     scale: &Scale,
@@ -176,51 +157,45 @@ fn suite_evals(
     backend: DramBackend,
     store: Option<&ResultStore>,
     fast_forward: bool,
-    stats: &mut Vec<SuiteStat>,
+    registry: &Registry,
 ) -> Vec<Evaluated> {
-    let start = Instant::now();
-    let record = |ff: Option<FastForwardStats>| SuiteStat {
-        suite: suite.name(),
-        wall_s: start.elapsed().as_secs_f64(),
-        ff,
-    };
     let spec = JobSpec::suite_sweep(suite, *scale, threads, backend);
     if fast_forward {
         // The memoizing path is bit-identical to the burst path, so the
         // store *could* cache it too — but the point of `--fast-forward` is
         // to measure the in-run memoization, so it bypasses the store and
         // reports its hit rate instead.
-        let (evals, ff) = spec.execute_path(TxnPath::FastForward);
+        let (evals, _) = spec.execute_observed(TxnPath::FastForward, registry);
+        let hits = ff_counter(registry, "mgx_ff_hits_total", suite);
+        let misses = ff_counter(registry, "mgx_ff_misses_total", suite);
+        let fallbacks = ff_counter(registry, "mgx_ff_fallbacks_total", suite);
+        let recorded = ff_counter(registry, "mgx_ff_recorded_total", suite);
+        let phases = hits + misses + fallbacks;
         eprintln!(
             "# {}: fast-forward {:.1}% hit rate ({} hits / {} phases, {} classes, {} fallbacks)",
             suite.name(),
-            ff.hit_rate() * 100.0,
-            ff.hits,
-            ff.phases(),
-            ff.recorded,
-            ff.fallbacks
+            hits as f64 / phases.max(1) as f64 * 100.0,
+            hits,
+            phases,
+            recorded,
+            fallbacks
         );
-        stats.push(record(Some(ff)));
         return evals;
     }
     let Some(store) = store else {
-        let evals = spec.execute();
-        stats.push(record(None));
-        return evals;
+        return spec.execute_observed(TxnPath::Burst, registry).0;
     };
     let digest = spec.digest();
     if let Some(doc) = store.get(digest) {
         match evaluated_from_json(&doc) {
             Ok(evals) => {
                 eprintln!("# {}: store hit ({})", suite.name(), spec.digest_hex());
-                stats.push(record(None));
                 return evals;
             }
             Err(e) => eprintln!("# {}: discarding unreadable store entry ({e})", suite.name()),
         }
     }
-    let evals = spec.execute();
-    stats.push(record(None));
+    let evals = spec.execute_observed(TxnPath::Burst, registry).0;
     if let Err(e) = store.put(digest, spec.result_json(&evals)) {
         eprintln!("# {}: store write failed ({e}); continuing uncached", suite.name());
     }
@@ -240,8 +215,11 @@ fn main() {
         }
         return;
     }
+    // One registry for the whole invocation: suite sweeps, the result
+    // store, and the `--stats-json` side-file all share it.
+    let registry = Registry::new();
     let store = store_dir.map(|dir| {
-        ResultStore::open(StoreConfig { mem_entries: 16, disk: Some(dir) })
+        ResultStore::open_observed(StoreConfig { mem_entries: 16, disk: Some(dir) }, &registry)
             .expect("--store directory must be creatable")
     });
     let store = store.as_ref();
@@ -274,7 +252,6 @@ fn main() {
     let need_graph = ["fig3", "fig14a", "fig14b", "summary"].iter().any(|f| wants(&args, f));
     let need_llm = ["llm-traffic", "llm-time"].iter().any(|f| wants(&args, f));
 
-    let mut stats: Vec<SuiteStat> = Vec::new();
     let dnn_inf: Vec<Evaluated> = if need_dnn_inf {
         eprintln!("# simulating DNN inference suite…");
         let e = suite_evals(
@@ -284,7 +261,7 @@ fn main() {
             backend,
             store,
             fast_forward,
-            &mut stats,
+            &registry,
         );
         log_volume("DNN inference", &e);
         e
@@ -300,7 +277,7 @@ fn main() {
             backend,
             store,
             fast_forward,
-            &mut stats,
+            &registry,
         );
         log_volume("DNN training", &e);
         e
@@ -309,8 +286,7 @@ fn main() {
     };
     let graphs: Vec<Evaluated> = if need_graph {
         eprintln!("# simulating graph suite…");
-        let e =
-            suite_evals(Suite::Graph, &scale, threads, backend, store, fast_forward, &mut stats);
+        let e = suite_evals(Suite::Graph, &scale, threads, backend, store, fast_forward, &registry);
         log_volume("graph", &e);
         e
     } else {
@@ -325,7 +301,7 @@ fn main() {
             backend,
             store,
             fast_forward,
-            &mut stats,
+            &registry,
         );
         log_volume("transformer", &e);
         e
@@ -357,12 +333,11 @@ fn main() {
     if wants(&args, "fig16") {
         eprintln!("# simulating GACT suite…");
         let g =
-            suite_evals(Suite::Genome, &scale, threads, backend, store, fast_forward, &mut stats);
+            suite_evals(Suite::Genome, &scale, threads, backend, store, fast_forward, &registry);
         print(&genome::fig16(&g));
     }
     if wants(&args, "h264") {
-        let v =
-            suite_evals(Suite::Video, &scale, threads, backend, store, fast_forward, &mut stats);
+        let v = suite_evals(Suite::Video, &scale, threads, backend, store, fast_forward, &registry);
         print(&video::fig_h264(&v));
     }
     if wants(&args, "llm-traffic") {
@@ -389,9 +364,16 @@ fn main() {
         }
     }
     if let Some(path) = stats_path {
-        let doc = stats_json(if quick { "quick" } else { "standard" }, threads, &stats);
+        // The side-file is the registry itself, wrapped with the run's
+        // identity knobs — the same atomics the stderr notes read.
+        let doc = format!(
+            "{{\"scale\":\"{}\",\"threads\":{threads},\"dram_model\":\"{}\",\"metrics\":{}}}",
+            if quick { "quick" } else { "standard" },
+            backend.name(),
+            registry.render_json()
+        );
         std::fs::write(&path, doc).expect("--stats-json path must be writable");
-        eprintln!("# wrote per-suite stats to {}", path.display());
+        eprintln!("# wrote run metrics to {}", path.display());
     }
 }
 

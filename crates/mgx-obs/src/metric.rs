@@ -1,0 +1,229 @@
+//! Scalar metrics ([`Counter`], [`Gauge`]), the [`Span`] timer, and the
+//! [`Coherent`] seqlock for multi-counter snapshot consistency.
+
+use crate::histogram::Histogram;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A monotonic counter. Updates are single relaxed atomic RMWs; reads are
+/// relaxed loads. Shareable across threads behind an `Arc` (the
+/// [`crate::Registry`] hands them out that way).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depth, in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may go negative; gauges are signed).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A wall-clock timer that records its elapsed nanoseconds into a
+/// [`Histogram`] — explicitly via [`Span::stop`], or on drop if the span
+/// is simply let go (RAII style).
+///
+/// ```
+/// use mgx_obs::Histogram;
+/// let hist = Histogram::new();
+/// {
+///     let _span = hist.span(); // records on scope exit
+/// }
+/// let ns = hist.span().stop(); // records and returns the elapsed ns
+/// assert_eq!(hist.snapshot().count, 2);
+/// let _ = ns;
+/// ```
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn start(hist: &'a Histogram) -> Self {
+        Self { hist, start: Instant::now(), armed: true }
+    }
+
+    /// Stops the timer, records the elapsed nanoseconds, and returns them.
+    pub fn stop(mut self) -> u64 {
+        self.armed = false;
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+        ns
+    }
+
+    /// Abandons the span without recording (e.g. the measured operation
+    /// failed and should not pollute the latency distribution).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record(ns);
+        }
+    }
+}
+
+/// A seqlock guarding the *consistency* of a group of related metrics.
+///
+/// Individual counters are lock-free atomics, so a reader loading several
+/// of them one after another can observe a state no writer ever produced
+/// (a `hit` counted whose lookup is not yet in `lookups`). `Coherent`
+/// fixes that for the snapshot path without slowing the common read path:
+///
+/// * writers wrap each logically-atomic group of updates in
+///   [`Coherent::write`] — one uncontended mutex lock plus two sequence
+///   bumps per event (cheap at request granularity, and subsystems like
+///   the result store already serialize these events through their own
+///   lock anyway);
+/// * snapshot readers wrap their loads in [`Coherent::read`], which
+///   retries until the sequence number was even and unchanged across the
+///   loads — i.e. no write section overlapped the snapshot.
+///
+/// Plain single-metric reads (a render, a live gauge) can skip the
+/// seqlock entirely; they only give up cross-metric consistency.
+#[derive(Debug, Default)]
+pub struct Coherent {
+    seq: AtomicU64,
+    writers: Mutex<()>,
+}
+
+impl Coherent {
+    /// A fresh coherence domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` as one logically-atomic update group.
+    pub fn write<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.writers.lock().unwrap();
+        self.seq.fetch_add(1, Ordering::Release); // now odd: snapshot in progress
+        let out = f();
+        self.seq.fetch_add(1, Ordering::Release); // even again: quiescent
+        out
+    }
+
+    /// Runs `f` until it observes a quiescent interval (no overlapping
+    /// [`Coherent::write`]), returning that consistent result.
+    pub fn read<T>(&self, f: impl Fn() -> T) -> T {
+        loop {
+            let before = self.seq.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let out = f();
+            if self.seq.load(Ordering::Acquire) == before {
+                return out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(5);
+        g.sub(7);
+        g.add(1);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn span_records_on_drop_and_on_stop() {
+        let h = Histogram::new();
+        drop(h.span());
+        let ns = h.span().stop();
+        h.span().cancel(); // must NOT record
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert!(snap.sum >= ns);
+    }
+
+    #[test]
+    fn coherent_snapshots_never_tear_paired_updates() {
+        // Writers always keep a == b inside the write section's end state;
+        // a coherent reader must never observe a != b.
+        let a = Arc::new(Counter::new());
+        let b = Arc::new(Counter::new());
+        let dom = Arc::new(Coherent::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (a, b, dom, stop) = (a.clone(), b.clone(), dom.clone(), stop.clone());
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        dom.write(|| {
+                            a.inc();
+                            b.inc();
+                        });
+                    }
+                });
+            }
+            for _ in 0..2000 {
+                let (x, y) = dom.read(|| (a.get(), b.get()));
+                assert_eq!(x, y, "coherent read tore a paired update");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+}

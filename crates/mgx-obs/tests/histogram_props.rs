@@ -1,0 +1,95 @@
+//! Property tests for the histogram algebra: bucket monotonicity, the
+//! advertised percentile error bound against exact sorted samples, and
+//! merge associativity/commutativity.
+
+use mgx_obs::histogram::{bounds, bucket_index};
+use mgx_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// The range the relative error bound is advertised for (below the last
+/// finite bucket bound ≈ 2^62; in nanoseconds that is ~146 years).
+const BOUNDED_RANGE: u64 = 1 << 60;
+
+/// Exact rank-`⌈q·n⌉` percentile of a sorted sample.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Every value lands in the bucket whose bound is the first `>= v`
+    /// (so the previous bound is strictly below it), and the index is
+    /// monotone in the value.
+    #[test]
+    fn bucket_indexing_is_monotone_and_tight(v in any::<u64>(), w in any::<u64>()) {
+        let b = bounds();
+        let i = bucket_index(v);
+        prop_assert!(b[i] >= v);
+        if i > 0 {
+            prop_assert!(b[i - 1] < v);
+        }
+        let j = bucket_index(w);
+        if v <= w {
+            prop_assert!(i <= j, "index order must follow value order");
+        }
+    }
+
+    /// The documented error bound: for any sample and any quantile,
+    /// `exact <= reported < 1.25 * exact` (exactly equal at 0).
+    #[test]
+    fn percentiles_stay_within_the_error_bound(
+        values in proptest::collection::vec(0..BOUNDED_RANGE, 1..200),
+        qs in proptest::collection::vec(1u64..=1000, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut values = values;
+        values.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.min_value(), values.first().copied());
+        prop_assert_eq!(snap.max_value(), values.last().copied());
+        for &per_mille in &qs {
+            let q = per_mille as f64 / 1000.0;
+            let exact = exact_percentile(&values, q);
+            let reported = snap.percentile(q).expect("non-empty");
+            prop_assert!(reported >= exact, "p({q}) = {reported} under-reports {exact}");
+            prop_assert!(
+                (reported as f64) < (exact as f64) * 1.25 || reported == exact,
+                "p({q}) = {reported} exceeds 1.25 x {exact}"
+            );
+        }
+    }
+
+    /// Merging is associative and commutative with `empty()` as identity,
+    /// so shards can be folded in any order.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        // Bounded so `sum` stays exact (150 x 2^50 < 2^64): merged ==
+        // direct union only holds while nothing overflows or saturates.
+        a in proptest::collection::vec(0..(1u64 << 50), 0..50),
+        b in proptest::collection::vec(0..(1u64 << 50), 0..50),
+        c in proptest::collection::vec(0..(1u64 << 50), 0..50),
+    ) {
+        let snap = |vs: &[u64]| {
+            let h = Histogram::new();
+            for &v in vs {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&HistogramSnapshot::empty()), sa.clone());
+        // A merged snapshot answers percentiles like a histogram that saw
+        // the union of the samples.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let direct = snap(&all);
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), direct);
+    }
+}

@@ -17,12 +17,13 @@
 //!   not requests, which is what the e2e tests pin.
 
 use crate::store::ResultStore;
+use mgx_obs::{Coherent, Counter, Gauge, Histogram, Registry};
 use mgx_sim::job::JobSpec;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Pool and queue sizing.
 #[derive(Debug, Clone)]
@@ -112,13 +113,55 @@ pub struct SchedulerStats {
     pub running: u64,
 }
 
+/// One digest's entry in the job table. `enqueued` is reset each time the
+/// digest (re-)enters the queue; the gap to a worker claiming it is the
+/// queue-wait a client-visible latency decomposes into.
+struct JobEntry {
+    spec: JobSpec,
+    status: JobStatus,
+    enqueued: Instant,
+}
+
+/// Shared [`mgx_obs`] handles under `mgx_jobs_*` / `mgx_job_*`: the
+/// `stats` op, the `metrics` op, and the scheduler itself all read the
+/// same atomics. The queue-wait / execute histograms decompose a
+/// simulation's latency into its time-in-queue and time-on-a-worker.
+struct Metrics {
+    executed: Arc<Counter>,
+    queued: Arc<Gauge>,
+    running: Arc<Gauge>,
+    queue_wait_ns: Arc<Histogram>,
+    execute_ns: Arc<Histogram>,
+    coherent: Coherent,
+}
+
+impl Metrics {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            executed: registry.counter(
+                "mgx_jobs_executed_total",
+                "simulations actually executed (cache hits and coalesced submissions excluded)",
+            ),
+            queued: registry.gauge("mgx_jobs_queued", "digests currently waiting in the queue"),
+            running: registry.gauge("mgx_jobs_running", "digests currently simulating"),
+            queue_wait_ns: registry.histogram(
+                "mgx_job_queue_wait_ns",
+                "nanoseconds a job waited in the queue before a worker claimed it",
+            ),
+            execute_ns: registry.histogram(
+                "mgx_job_execute_ns",
+                "nanoseconds a worker spent simulating a job (successful runs)",
+            ),
+            coherent: Coherent::new(),
+        }
+    }
+}
+
 struct Shared {
-    jobs: Mutex<HashMap<u64, (JobSpec, JobStatus)>>,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
     cv: Condvar,
     store: Arc<ResultStore>,
-    executed: AtomicU64,
-    queued: AtomicU64,
-    running: AtomicU64,
+    metrics: Metrics,
     accepting: AtomicBool,
 }
 
@@ -131,17 +174,26 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Spawns the worker pool over `store`.
+    /// Spawns the worker pool over `store` with a private metric registry.
     pub fn new(cfg: SchedulerConfig, store: Arc<ResultStore>) -> Self {
+        Self::new_observed(cfg, store, &Registry::new())
+    }
+
+    /// [`Scheduler::new`] with the counters, gauges, and latency
+    /// histograms registered in a shared observability registry
+    /// (`mgx_jobs_*` / `mgx_job_*` families).
+    pub fn new_observed(
+        cfg: SchedulerConfig,
+        store: Arc<ResultStore>,
+        registry: &Registry,
+    ) -> Self {
         let (tx, rx) = sync_channel::<u64>(cfg.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let shared = Arc::new(Shared {
             jobs: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
             store,
-            executed: AtomicU64::new(0),
-            queued: AtomicU64::new(0),
-            running: AtomicU64::new(0),
+            metrics: Metrics::register(registry),
             accepting: AtomicBool::new(true),
         });
         let workers = (0..cfg.workers.max(1))
@@ -170,20 +222,27 @@ impl Scheduler {
                 .lock()
                 .unwrap()
                 .entry(digest)
-                .or_insert_with(|| (spec.clone(), JobStatus::Done))
-                .1 = JobStatus::Done;
+                .or_insert_with(|| JobEntry {
+                    spec: spec.clone(),
+                    status: JobStatus::Done,
+                    enqueued: Instant::now(),
+                })
+                .status = JobStatus::Done;
             return Ok((digest, Submitted::Cached));
         }
         {
             let mut jobs = self.shared.jobs.lock().unwrap();
-            match jobs.get(&digest).map(|(_, st)| st.clone()) {
+            match jobs.get(&digest).map(|e| e.status.clone()) {
                 Some(JobStatus::Queued) | Some(JobStatus::Running) => {
                     return Ok((digest, Submitted::Coalesced));
                 }
                 // Done-but-evicted and Failed both re-enqueue.
                 _ => {
-                    jobs.insert(digest, (spec, JobStatus::Queued));
-                    self.shared.queued.fetch_add(1, Ordering::SeqCst);
+                    jobs.insert(
+                        digest,
+                        JobEntry { spec, status: JobStatus::Queued, enqueued: Instant::now() },
+                    );
+                    self.shared.metrics.coherent.write(|| self.shared.metrics.queued.add(1));
                 }
             }
         }
@@ -203,18 +262,18 @@ impl Scheduler {
 
     fn fail(&self, digest: u64, msg: &str) {
         let mut jobs = self.shared.jobs.lock().unwrap();
-        if let Some((_, st)) = jobs.get_mut(&digest) {
-            if *st == JobStatus::Queued {
-                self.shared.queued.fetch_sub(1, Ordering::SeqCst);
+        if let Some(entry) = jobs.get_mut(&digest) {
+            if entry.status == JobStatus::Queued {
+                self.shared.metrics.coherent.write(|| self.shared.metrics.queued.sub(1));
             }
-            *st = JobStatus::Failed(msg.into());
+            entry.status = JobStatus::Failed(msg.into());
         }
         self.shared.cv.notify_all();
     }
 
     /// Current status of a digest, if known.
     pub fn status(&self, digest: u64) -> Option<JobStatus> {
-        self.shared.jobs.lock().unwrap().get(&digest).map(|(_, st)| st.clone())
+        self.shared.jobs.lock().unwrap().get(&digest).map(|e| e.status.clone())
     }
 
     /// Blocks until the job's document is available (or the job fails),
@@ -228,7 +287,7 @@ impl Scheduler {
         loop {
             let status = {
                 let jobs = self.shared.jobs.lock().unwrap();
-                match jobs.get(&digest).map(|(_, st)| st.clone()) {
+                match jobs.get(&digest).map(|e| e.status.clone()) {
                     Some(JobStatus::Queued) | Some(JobStatus::Running) => {
                         if !keep_waiting() {
                             return Err(FetchError::Shutdown);
@@ -253,13 +312,16 @@ impl Scheduler {
         }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot from one quiescent instant (the [`Coherent`] read
+    /// retries across overlapping queue transitions, so `queued` and
+    /// `running` always describe the same moment).
     pub fn stats(&self) -> SchedulerStats {
-        SchedulerStats {
-            jobs_executed: self.shared.executed.load(Ordering::SeqCst),
-            queued: self.shared.queued.load(Ordering::SeqCst),
-            running: self.shared.running.load(Ordering::SeqCst),
-        }
+        let m = &self.shared.metrics;
+        m.coherent.read(|| SchedulerStats {
+            jobs_executed: m.executed.get(),
+            queued: m.queued.get().max(0) as u64,
+            running: m.running.get().max(0) as u64,
+        })
     }
 
     /// Stops accepting, lets the workers finish everything already queued
@@ -293,12 +355,16 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<u64>>) {
         };
         let spec = {
             let mut jobs = shared.jobs.lock().unwrap();
-            let Some((spec, st)) = jobs.get_mut(&digest) else { continue };
-            *st = JobStatus::Running;
-            spec.clone()
+            let Some(entry) = jobs.get_mut(&digest) else { continue };
+            entry.status = JobStatus::Running;
+            shared.metrics.queue_wait_ns.record_duration(entry.enqueued.elapsed());
+            entry.spec.clone()
         };
-        shared.queued.fetch_sub(1, Ordering::SeqCst);
-        shared.running.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.coherent.write(|| {
+            shared.metrics.queued.sub(1);
+            shared.metrics.running.add(1);
+        });
+        let started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let evals = spec.execute();
             spec.result_json(&evals)
@@ -306,7 +372,8 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<u64>>) {
         let status = match outcome {
             Ok(document) => match shared.store.put(digest, document) {
                 Ok(_) => {
-                    shared.executed.fetch_add(1, Ordering::SeqCst);
+                    shared.metrics.execute_ns.record_duration(started.elapsed());
+                    shared.metrics.coherent.write(|| shared.metrics.executed.inc());
                     JobStatus::Done
                 }
                 Err(e) => JobStatus::Failed(format!("store write failed: {e}")),
@@ -320,9 +387,9 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<u64>>) {
                 JobStatus::Failed(msg.to_string())
             }
         };
-        shared.running.fetch_sub(1, Ordering::SeqCst);
-        if let Some((_, st)) = shared.jobs.lock().unwrap().get_mut(&digest) {
-            *st = status;
+        shared.metrics.coherent.write(|| shared.metrics.running.sub(1));
+        if let Some(entry) = shared.jobs.lock().unwrap().get_mut(&digest) {
+            entry.status = status;
         }
         shared.cv.notify_all();
     }

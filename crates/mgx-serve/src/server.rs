@@ -13,6 +13,7 @@
 //! | `fetch` | `job` | the stored result document itself, verbatim |
 //! | `run` | `spec` | submit + fetch in one round trip (reply = document) |
 //! | `stats` | — | counters (`jobs_executed`, store hits/misses, …) |
+//! | `metrics` | `format` (optional) | the full observability registry: line-JSON dialect by default, `"format":"prometheus"` for the text exposition (as an escaped `exposition` string) |
 //! | `suites` | — | the workload registry with one-line descriptions |
 //! | `shutdown` | — | `{"ok":true,"draining":true}`, then graceful drain |
 //! | anything else | — | `{"ok":false,"error":...}` |
@@ -21,6 +22,13 @@
 //! the store holds), so a cached response is bit-identical to the cold
 //! one and to a direct [`JobSpec::result_json`] call — the property the
 //! e2e tests diff for.
+//!
+//! `stats` and `metrics` read the *same* [`mgx_obs`] atomics the store
+//! and scheduler update (one shared [`Registry`] per server), so the two
+//! surfaces can never disagree. `metrics` additionally exposes per-op
+//! request counts and latency histograms (`mgx_requests_total{op=…}`,
+//! `mgx_request_ns{op=…}`), queue-wait vs execute decomposition, and the
+//! open-connection gauge.
 //!
 //! # Shutdown
 //!
@@ -40,6 +48,7 @@ use crate::codec::{spec_from_wire, spec_to_wire};
 use crate::json::{self, Json};
 use crate::scheduler::{Scheduler, SchedulerConfig, Submitted};
 use crate::store::{ResultStore, StoreConfig};
+use mgx_obs::Registry;
 use mgx_sim::job::Suite;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -113,8 +122,13 @@ fn sentinel_path(cfg: &ServerConfig) -> Option<PathBuf> {
 
 fn serve_on(listener: TcpListener, cfg: ServerConfig, stop: Arc<AtomicBool>) -> io::Result<()> {
     listener.set_nonblocking(true)?;
-    let store = Arc::new(ResultStore::open(cfg.store.clone())?);
-    let scheduler = Arc::new(Scheduler::new(cfg.scheduler.clone(), store.clone()));
+    // One registry per server: the store, the scheduler, and the protocol
+    // layer all register their metrics here, and the `stats`/`metrics`
+    // ops render it.
+    let registry = Arc::new(Registry::new());
+    let store = Arc::new(ResultStore::open_observed(cfg.store.clone(), &registry)?);
+    let scheduler =
+        Arc::new(Scheduler::new_observed(cfg.scheduler.clone(), store.clone(), &registry));
     let sentinel = sentinel_path(&cfg);
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
@@ -122,12 +136,17 @@ fn serve_on(listener: TcpListener, cfg: ServerConfig, stop: Arc<AtomicBool>) -> 
             Ok((stream, _peer)) => {
                 let scheduler = scheduler.clone();
                 let store = store.clone();
+                let registry = registry.clone();
                 let stop = stop.clone();
                 let workers = cfg.scheduler.workers;
                 connections.push(std::thread::spawn(move || {
+                    let open = registry.gauge("mgx_connections_open", "live client connections");
+                    open.add(1);
                     // Connection errors (peer reset mid-line, broken pipe)
                     // only end that connection.
-                    let _ = handle_connection(stream, &scheduler, &store, &stop, workers);
+                    let _ =
+                        handle_connection(stream, &scheduler, &store, &registry, &stop, workers);
+                    open.sub(1);
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -192,6 +211,7 @@ fn handle_connection(
     stream: TcpStream,
     scheduler: &Scheduler,
     store: &ResultStore,
+    registry: &Registry,
     stop: &Arc<AtomicBool>,
     workers: usize,
 ) -> io::Result<()> {
@@ -204,7 +224,15 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let reply = dispatch(&line, scheduler, store, stop, workers);
+        // Per-op request accounting: the latency span covers the whole
+        // dispatch, including any `fetch_wait` blocking — exactly what
+        // the client experiences past the socket.
+        let started = std::time::Instant::now();
+        let (reply, op) = dispatch(&line, scheduler, store, registry, stop, workers);
+        registry.counter_with("mgx_requests_total", &[("op", op)], "requests by op").inc();
+        registry
+            .histogram_with("mgx_request_ns", &[("op", op)], "request service time by op")
+            .record_duration(started.elapsed());
         writer.write_all(reply.as_bytes())?;
         if !reply.ends_with('\n') {
             writer.write_all(b"\n")?;
@@ -223,22 +251,36 @@ fn parse_job_id(req: &Json) -> Result<u64, String> {
     u64::from_str_radix(hex, 16).map_err(|_| format!("`{hex}` is not a 16-hex job id"))
 }
 
+/// Serves one request line, returning the reply and the static op label
+/// the per-op metrics are recorded under.
 fn dispatch(
     line: &str,
     scheduler: &Scheduler,
     store: &ResultStore,
+    registry: &Registry,
     stop: &Arc<AtomicBool>,
     workers: usize,
-) -> String {
+) -> (String, &'static str) {
     let req = match Json::parse(line) {
         Ok(v) => v,
-        Err(e) => return error_reply(&format!("bad request JSON: {e}")),
+        Err(e) => return (error_reply(&format!("bad request JSON: {e}")), "invalid"),
     };
     let op = req.get("op").and_then(Json::as_str).unwrap_or("");
-    match op {
+    let label = match op {
+        "submit" => "submit",
+        "poll" => "poll",
+        "fetch" => "fetch",
+        "run" => "run",
+        "stats" => "stats",
+        "metrics" => "metrics",
+        "suites" => "suites",
+        "shutdown" => "shutdown",
+        _ => "unknown",
+    };
+    let reply = match op {
         "submit" => {
             let Some(spec) = req.get("spec") else {
-                return error_reply("submit needs a `spec` object");
+                return (error_reply("submit needs a `spec` object"), label);
             };
             match spec_from_wire(spec).and_then(|s| scheduler.submit(s)) {
                 Ok((digest, how)) => {
@@ -284,7 +326,7 @@ fn dispatch(
         },
         "run" => {
             let Some(spec) = req.get("spec") else {
-                return error_reply("run needs a `spec` object");
+                return (error_reply("run needs a `spec` object"), label);
             };
             match spec_from_wire(spec).and_then(|s| scheduler.submit(s)) {
                 Ok((digest, _)) => match scheduler.fetch_wait(digest, || true) {
@@ -313,6 +355,25 @@ fn dispatch(
             ])
             .render()
         }
+        "metrics" => {
+            let format = req.get("format").and_then(Json::as_str).unwrap_or("json");
+            match format {
+                // The registry's one-line dialect is itself a JSON object,
+                // so it embeds as a raw subdocument.
+                "json" => format!("{{\"ok\":true,\"metrics\":{}}}", registry.render_json()),
+                // The multi-line text exposition rides inside the
+                // single-line protocol as an escaped string field.
+                "prometheus" => json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("format", json::str("prometheus")),
+                    ("exposition", json::str(registry.render_prometheus())),
+                ])
+                .render(),
+                other => {
+                    error_reply(&format!("unknown metrics format `{other}` (json|prometheus)"))
+                }
+            }
+        }
         "suites" => {
             let suites: Vec<Json> = Suite::ALL
                 .iter()
@@ -330,9 +391,10 @@ fn dispatch(
             json::obj(vec![("ok", Json::Bool(true)), ("draining", Json::Bool(true))]).render()
         }
         other => error_reply(&format!(
-            "unknown op `{other}` (submit|poll|fetch|run|stats|suites|shutdown)"
+            "unknown op `{other}` (submit|poll|fetch|run|stats|metrics|suites|shutdown)"
         )),
-    }
+    };
+    (reply, label)
 }
 
 /// A blocking client for the protocol above — what `mgx-client` and the
@@ -401,6 +463,21 @@ impl Client {
     /// Fetches the counter envelope.
     pub fn stats(&mut self) -> io::Result<Json> {
         self.request_parsed("{\"op\":\"stats\"}")
+    }
+
+    /// Fetches the full observability registry in the line-JSON dialect:
+    /// `{"ok":true,"metrics":{"counters":…,"gauges":…,"histograms":…}}`.
+    pub fn metrics(&mut self) -> io::Result<Json> {
+        self.request_parsed("{\"op\":\"metrics\"}")
+    }
+
+    /// Fetches the Prometheus text exposition (unescaped, multi-line).
+    pub fn metrics_prometheus(&mut self) -> io::Result<String> {
+        let v = self.request_parsed("{\"op\":\"metrics\",\"format\":\"prometheus\"}")?;
+        v.get("exposition")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing exposition"))
     }
 
     /// Requests a graceful drain.

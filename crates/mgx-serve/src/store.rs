@@ -19,6 +19,7 @@
 //!
 //! [`JobSpec::result_json`]: mgx_sim::job::JobSpec::result_json
 
+use mgx_obs::{Coherent, Counter, Registry};
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Write};
@@ -56,13 +57,34 @@ pub struct StoreStats {
     pub evictions: u64,
 }
 
-#[derive(Default)]
+/// The store's counters are shared [`mgx_obs`] handles registered under
+/// `mgx_store_*`: the `stats` op, the `metrics` op, and any report writer
+/// holding the same [`Registry`] all read the very atomics the store
+/// updates, so the surfaces cannot disagree. The [`Coherent`] domain makes
+/// multi-counter snapshots logically atomic (a `hit` is never visible
+/// without the eviction it caused).
 struct Counters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    disk_loads: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    disk_loads: Arc<Counter>,
+    insertions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    coherent: Coherent,
+}
+
+impl Counters {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            hits: registry.counter("mgx_store_hits_total", "lookups answered from memory or disk"),
+            misses: registry.counter("mgx_store_misses_total", "lookups that found nothing"),
+            disk_loads: registry
+                .counter("mgx_store_disk_loads_total", "hits promoted from the disk tier"),
+            insertions: registry.counter("mgx_store_insertions_total", "documents inserted"),
+            evictions: registry
+                .counter("mgx_store_evictions_total", "memory-tier entries evicted by LRU"),
+            coherent: Coherent::new(),
+        }
+    }
 }
 
 struct MemTier {
@@ -127,6 +149,13 @@ impl ResultStore {
     /// flight between `create` and `rename`. A genuinely orphaned temp
     /// file from a crash only has to wait one more open to age out.
     pub fn open(cfg: StoreConfig) -> io::Result<Self> {
+        Self::open_observed(cfg, &Registry::new())
+    }
+
+    /// [`ResultStore::open`] with the counters registered in a shared
+    /// observability registry (`mgx_store_*` families) instead of a
+    /// private one, so other surfaces read the same atomics.
+    pub fn open_observed(cfg: StoreConfig, registry: &Registry) -> io::Result<Self> {
         if let Some(dir) = &cfg.disk {
             fs::create_dir_all(dir)?;
             for entry in fs::read_dir(dir)? {
@@ -152,7 +181,7 @@ impl ResultStore {
                 capacity: cfg.mem_entries.max(1),
             }),
             disk: cfg.disk,
-            counters: Counters::default(),
+            counters: Counters::register(registry),
             tmp_seq: AtomicU64::new(0),
         })
     }
@@ -169,20 +198,22 @@ impl ResultStore {
     /// Looks a digest up: memory first, then disk (promoting on hit).
     pub fn get(&self, digest: u64) -> Option<Arc<str>> {
         if let Some(v) = self.mem.lock().unwrap().get(digest) {
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.coherent.write(|| self.counters.hits.inc());
             return Some(v);
         }
         if let Some(path) = self.path_of(digest) {
             if let Some(doc) = read_complete(&path) {
                 let value: Arc<str> = Arc::from(doc);
                 let evicted = self.mem.lock().unwrap().put(digest, value.clone());
-                self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                self.counters.disk_loads.fetch_add(1, Ordering::Relaxed);
+                self.counters.coherent.write(|| {
+                    self.counters.evictions.add(evicted);
+                    self.counters.hits.inc();
+                    self.counters.disk_loads.inc();
+                });
                 return Some(value);
             }
         }
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.coherent.write(|| self.counters.misses.inc());
         None
     }
 
@@ -221,8 +252,10 @@ impl ResultStore {
             }
         }
         let evicted = self.mem.lock().unwrap().put(digest, value.clone());
-        self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
-        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        self.counters.coherent.write(|| {
+            self.counters.evictions.add(evicted);
+            self.counters.insertions.inc();
+        });
         Ok(value)
     }
 
@@ -256,15 +289,17 @@ impl ResultStore {
         Ok(())
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. The [`Coherent`] read retries across overlapping
+    /// updates, so the five counters are from one quiescent instant — a
+    /// `stats` reply can no longer show a hit whose eviction is missing.
     pub fn stats(&self) -> StoreStats {
-        StoreStats {
-            hits: self.counters.hits.load(Ordering::Relaxed),
-            misses: self.counters.misses.load(Ordering::Relaxed),
-            disk_loads: self.counters.disk_loads.load(Ordering::Relaxed),
-            insertions: self.counters.insertions.load(Ordering::Relaxed),
-            evictions: self.counters.evictions.load(Ordering::Relaxed),
-        }
+        self.counters.coherent.read(|| StoreStats {
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            disk_loads: self.counters.disk_loads.get(),
+            insertions: self.counters.insertions.get(),
+            evictions: self.counters.evictions.get(),
+        })
     }
 }
 

@@ -1,0 +1,62 @@
+//! The `mgx-obs` registry renders the repo's line-JSON dialect; this test
+//! pins the contract that matters to the service: the rendering must
+//! survive a round trip through `mgx_serve::json::Json` — the protocol's
+//! own parser — **exactly**, including `u64` values beyond 2^53 that an
+//! `f64`-based JSON library would silently round. (`Json::Num` keeps the
+//! source lexeme, which is why the `metrics` op can embed the registry
+//! verbatim in a reply envelope.)
+
+use mgx_obs::Registry;
+use mgx_serve::json::Json;
+
+/// Smallest value where `u64 -> f64 -> u64` loses information, plus an
+/// odd offset so the rounding would be visible.
+const BIG: u64 = (1u64 << 53) + 12_345;
+
+#[test]
+fn registry_json_round_trips_through_the_protocol_parser() {
+    let registry = Registry::new();
+    registry.counter("big_total", "a counter beyond f64 integer range").add(BIG);
+    registry.counter_with("labeled_total", &[("op", "run"), ("tier", "mem")], "labeled").add(7);
+    registry.gauge("depth", "a negative gauge").sub(42);
+    let h = registry.histogram_with("lat_ns", &[("op", "run")], "latencies");
+    h.record(1);
+    h.record(BIG);
+
+    let rendered = registry.render_json();
+    let parsed = Json::parse(&rendered).expect("registry rendering must be valid protocol JSON");
+
+    let counters = parsed.get("counters").expect("counters section");
+    assert_eq!(
+        counters.get("big_total").and_then(Json::as_u64),
+        Some(BIG),
+        "u64 counters above 2^53 must survive exactly"
+    );
+    assert_eq!(
+        counters.get("labeled_total{op=\"run\",tier=\"mem\"}").and_then(Json::as_u64),
+        Some(7),
+        "labeled names must parse as plain object keys"
+    );
+    match parsed.get("gauges").and_then(|g| g.get("depth")) {
+        Some(Json::Num(lexeme)) => assert_eq!(lexeme, "-42"),
+        other => panic!("gauge must render as a signed number, got {other:?}"),
+    }
+    let hist = parsed
+        .get("histograms")
+        .and_then(|h| h.get("lat_ns{op=\"run\"}"))
+        .expect("histogram entry");
+    assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
+    assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(BIG + 1), "sum is exact");
+    assert_eq!(hist.get("min").and_then(Json::as_u64), Some(1));
+    assert_eq!(hist.get("max").and_then(Json::as_u64), Some(BIG), "max is exact, not bucketed");
+
+    // Parse -> render -> parse is a fixed point: embedding the registry in
+    // a reply envelope and reading it back client-side changes nothing.
+    let rerendered = parsed.render();
+    assert_eq!(Json::parse(&rerendered).expect("re-parse"), parsed);
+
+    // The registry's read-back API and the rendered document are two views
+    // of the same atomics and can never disagree.
+    assert_eq!(registry.counter_value("big_total"), Some(BIG));
+    assert_eq!(registry.gauge_value("depth"), Some(-42));
+}

@@ -214,6 +214,61 @@ impl JobSpec {
         }
     }
 
+    /// [`JobSpec::execute_path`] with the sweep recorded into an
+    /// observability registry. The results are byte-identical to the
+    /// unobserved call (the registry only *watches*); the registry gains:
+    ///
+    /// * `mgx_suite_wall_ns{suite=…}` — wall-clock of the whole sweep;
+    /// * `mgx_ff_{hits,misses,fallbacks,recorded}_total{suite=…}` — the
+    ///   fast-forward counters, replacing ad-hoc stderr accounting;
+    /// * `mgx_simulated_bytes_total{suite=…,scheme=…}` and
+    ///   `mgx_dram_cycles_total{suite=…,scheme=…}` — per-scheme totals
+    ///   (schemes share one trace walk, so wall-clock is only separable
+    ///   per suite, but simulated work is exact per scheme).
+    pub fn execute_observed(
+        &self,
+        path: TxnPath,
+        registry: &mgx_obs::Registry,
+    ) -> (Vec<Evaluated>, FastForwardStats) {
+        let suite = self.suite.name();
+        let wall = registry.histogram_with(
+            "mgx_suite_wall_ns",
+            &[("suite", suite)],
+            "wall-clock nanoseconds per suite sweep",
+        );
+        let span = wall.span();
+        let (evals, ff) = self.execute_path(path);
+        span.stop();
+        for (name, value, help) in [
+            ("mgx_ff_hits_total", ff.hits, "fast-forward phases replayed from a recorded class"),
+            ("mgx_ff_misses_total", ff.misses, "fast-forward phases simulated (no recording yet)"),
+            (
+                "mgx_ff_fallbacks_total",
+                ff.fallbacks,
+                "fast-forward phases where memoization was inapplicable",
+            ),
+            ("mgx_ff_recorded_total", ff.recorded, "fast-forward equivalence classes recorded"),
+        ] {
+            registry.counter_with(name, &[("suite", suite)], help).add(value);
+        }
+        for e in &evals {
+            for r in &e.results {
+                let labels = [("suite", suite), ("scheme", r.scheme.label())];
+                registry
+                    .counter_with(
+                        "mgx_simulated_bytes_total",
+                        &labels,
+                        "DRAM bytes simulated (data + metadata)",
+                    )
+                    .add(r.total_bytes());
+                registry
+                    .counter_with("mgx_dram_cycles_total", &labels, "DRAM cycles simulated")
+                    .add(r.dram_cycles);
+            }
+        }
+        (evals, ff)
+    }
+
     /// Serializes a sweep's results as the canonical response document —
     /// one line of JSON, schemes filtered to the (canonicalized) request.
     ///

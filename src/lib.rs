@@ -17,6 +17,7 @@
 //! | [`genome`] | Darwin/GACT pipeline: reads, D-SOFT, banded alignment |
 //! | [`h264`] | GOP scheduling, secure video decoder |
 //! | [`transformer`] | LLM inference: prefill/decode KV-cache growth, paged attention |
+//! | [`obs`] | unified observability: counters/gauges/log-bucketed histograms, span timers, Prometheus + line-JSON registry |
 //! | [`sim`] | `Simulation` session builder (constant-memory pipeline) + every figure of the evaluation |
 //! | [`serve`] | concurrent simulation daemon: job queue, worker pool, content-addressed result store |
 //!
@@ -87,6 +88,7 @@ pub use mgx_dram as dram;
 pub use mgx_genome as genome;
 pub use mgx_graph as graph;
 pub use mgx_h264 as h264;
+pub use mgx_obs as obs;
 pub use mgx_scalesim as scalesim;
 pub use mgx_serve as serve;
 pub use mgx_sim as sim;

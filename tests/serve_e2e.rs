@@ -137,6 +137,58 @@ fn served_transformer_suite_matches_direct_evaluation() {
     server.join().unwrap();
 }
 
+#[test]
+fn metrics_op_agrees_with_the_request_sequence_and_stats() {
+    // Issue a known op sequence, then check the `metrics` reply counts it
+    // exactly — and that `stats` (which renders the same registry atomics)
+    // can never disagree with it.
+    let server = boot(2, 8);
+    let spec = JobSpec {
+        suite: Suite::Video,
+        scale: Scale::quick(),
+        schemes: vec![],
+        threads: 1,
+        backend: DramBackend::ClosedForm,
+    };
+    let mut c = Client::connect(&server.addr).unwrap();
+    let cold = c.run(&spec).expect("cold run");
+    let warm = c.run(&spec).expect("warm run");
+    assert_eq!(cold, warm);
+    let stats = c.stats().unwrap();
+    let reply = c.metrics().unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let m = reply.get("metrics").expect("metrics subdocument");
+    let counter = |name: &str| m.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64);
+    // Request accounting: exactly what this connection issued. (The
+    // `metrics` request itself is counted after its reply renders, so it
+    // does not observe itself.)
+    assert_eq!(counter("mgx_requests_total{op=\"run\"}"), Some(2));
+    assert_eq!(counter("mgx_requests_total{op=\"stats\"}"), Some(1));
+    assert_eq!(counter("mgx_jobs_executed_total"), Some(1), "the warm run must be a store hit");
+    // Cross-surface consistency: `stats` wire keys are rendered from the
+    // same counters the `metrics` op exposes.
+    let stat = |key: &str| stats.get(key).and_then(Json::as_u64);
+    assert_eq!(counter("mgx_jobs_executed_total"), stat("jobs_executed"));
+    assert_eq!(counter("mgx_store_hits_total"), stat("store_hits"));
+    assert_eq!(counter("mgx_store_misses_total"), stat("store_misses"));
+    // The per-op latency histogram saw exactly the run requests.
+    let run_latency_count = m
+        .get("histograms")
+        .and_then(|h| h.get("mgx_request_ns{op=\"run\"}"))
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_u64);
+    assert_eq!(run_latency_count, Some(2));
+    // The Prometheus exposition is the same registry in the other dialect.
+    let text = c.metrics_prometheus().expect("prometheus exposition");
+    assert!(
+        text.contains("mgx_requests_total{op=\"run\"} 2"),
+        "exposition must carry the run count:\n{text}"
+    );
+    assert!(text.contains("# TYPE mgx_request_ns histogram"), "typed histogram family:\n{text}");
+    c.shutdown().unwrap();
+    server.join().unwrap();
+}
+
 /// Tiny-but-varied spec space. Debug-build simulation speed bounds the
 /// knobs: genome exercises the `Serial` phase mode, video the
 /// `Overlapped` one, and graph the pool fan-out over six datasets.
